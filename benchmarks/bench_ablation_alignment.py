@@ -1,0 +1,54 @@
+"""Ablation: the analysis' slot-alignment assumption (paper Sec. 3.1).
+
+PB_CAM needs no synchronization, but the paper *analyzes* it assuming
+perfectly aligned slots.  The DES engine can run both ways; this
+ablation quantifies what alignment is worth at a mid-density point.
+"""
+
+import numpy as np
+
+from repro.analysis.config import AnalysisConfig
+from repro.protocols.pbcast import ProbabilisticRelay
+from repro.sim.config import SimulationConfig
+from repro.sim.desimpl import DesBroadcastSimulation
+from repro.utils.tables import format_series
+from conftest import RESULTS_DIR
+
+
+def test_alignment_ablation(benchmark, scale):
+    cfg = SimulationConfig(analysis=AnalysisConfig(rho=60))
+    p = 0.2
+    reps = max(4, scale.replications // 2)
+
+    def run():
+        rows = {}
+        for mode in ("phase", "jitter"):
+            reach = [
+                DesBroadcastSimulation(
+                    ProbabilisticRelay(p), cfg, 1000 + s, alignment=mode
+                )
+                .run()
+                .reachability
+                for s in range(reps)
+            ]
+            rows[mode] = (float(np.mean(reach)), float(np.std(reach)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    text = format_series(
+        "alignment",
+        list(rows),
+        {
+            "mean_final_reachability": [v[0] for v in rows.values()],
+            "std": [v[1] for v in rows.values()],
+        },
+        title=f"ablation: slot alignment (rho=60, p={p}, DES engine)",
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "ablation_alignment.txt").write_text(text + "\n")
+    print("\n" + text)
+
+    # Jitter decorrelates contention; final reachability stays in the
+    # same band — the alignment assumption is benign at this density.
+    assert abs(rows["phase"][0] - rows["jitter"][0]) < 0.15

@@ -1,0 +1,62 @@
+"""Ablation 1 (DESIGN.md): the real-K extension of mu.
+
+The paper plugs the *expectation* ``g(x) * p`` into the integer-argument
+``mu(K, s)``; we default to linear interpolation of the exact table and
+offer a Poisson-mixture alternative that models the transmitter-count
+distribution.  This ablation measures how much the choice moves the
+figures' headline quantities.
+"""
+
+import numpy as np
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.optimizer import optimal_probability
+from repro.utils.tables import format_series
+from conftest import RESULTS_DIR
+
+
+def _optima(mu_method: str, rho_grid, p_grid):
+    out_p, out_r = [], []
+    for rho in rho_grid:
+        cfg = AnalysisConfig(rho=rho, mu_method=mu_method)
+        res = optimal_probability(cfg, "reachability_at_latency", 5, p_grid=p_grid)
+        out_p.append(res.p)
+        out_r.append(res.value)
+    return np.array(out_p), np.array(out_r)
+
+
+def test_mu_extension_ablation(benchmark, scale, record_figure):
+    p_grid = scale.analysis_p_grid
+
+    def run():
+        interp = _optima("interpolate", scale.rho_grid, p_grid)
+        poisson = _optima("poisson", scale.rho_grid, p_grid)
+        return interp, poisson
+
+    (ip, ir), (pp, pr) = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    text = format_series(
+        "rho",
+        list(scale.rho_grid),
+        {
+            "opt_p_interpolate": ip,
+            "opt_p_poisson": pp,
+            "reach_interpolate": ir,
+            "reach_poisson": pr,
+        },
+        title="ablation: mu real-K extension (fig4b quantities)",
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "ablation_mu.txt").write_text(text + "\n")
+    print("\n" + text)
+
+    # The two extensions must agree on the story: the same decaying trend
+    # and plateaus within a few points of reachability.  The optima
+    # themselves shift by up to ~25% (Poisson's variance softens the
+    # collision penalty, favoring slightly larger p) — that shift IS the
+    # ablation's finding.
+    assert ip[-1] < ip[0] and pp[-1] < pp[0]
+    assert np.all(np.abs(ip - pp) <= 0.3 * np.maximum(ip, pp) + 2 * scale.analysis_p_step)
+    assert np.all(np.abs(ir - pr) < 0.1)
+    # And they are genuinely different models (not accidentally aliased).
+    assert np.any(np.abs(ir - pr) > 1e-6)

@@ -1,0 +1,32 @@
+"""Figure 4: analytic reachability of PB_CAM within 5 time phases.
+
+Panel (a) sweeps reachability over ``(rho, p)``; panel (b) extracts the
+optimal probability per density.  Paper headline: the optimum decays
+rapidly with density while its reachability stays flat (~0.72 in the
+paper's numbers; ~0.83 with our integration choices), and flooding at
+``rho = 140`` achieves only ~0.55x the optimum.
+"""
+
+from repro.experiments.figures import generate_figure
+
+
+def test_fig4a_reachability_sweep(benchmark, scale, record_figure):
+    result = benchmark.pedantic(
+        lambda: generate_figure("fig4a", scale), rounds=1, iterations=1
+    )
+    record_figure(result)
+    flat = [v for series in result.series.values() for v in series]
+    assert all(0.0 <= v <= 1.0 for v in flat)
+
+
+def test_fig4b_optimal_probability(benchmark, scale, record_figure):
+    result = benchmark.pedantic(
+        lambda: generate_figure("fig4b", scale), rounds=1, iterations=1
+    )
+    record_figure(result)
+    opt = result.series_array("optimal_p")
+    # The paper's headline trend: optimal p decreases with density.
+    assert opt[-1] < opt[0]
+    # Flooding vs optimum at the densest point: paper reports ~0.55.
+    ratio = result.notes["flooding_over_optimal_at_max_rho"]
+    assert 0.4 < ratio < 0.7

@@ -1,0 +1,35 @@
+"""Figure 6: analytic broadcast count (energy) for 72% reachability.
+
+Paper headline: the energy-optimal probability sits between 0 and 0.1
+across the whole density range, the optimal count stays within ~40
+broadcasts, and the corresponding latencies run 7-15 phases.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import generate_figure
+
+
+def test_fig6a_energy_sweep(benchmark, scale, record_figure):
+    result = benchmark.pedantic(
+        lambda: generate_figure("fig6a", scale), rounds=1, iterations=1
+    )
+    record_figure(result)
+    # Energy grows with p once feasible (more relays, same target).
+    for key in result.series:
+        vals = result.series_array(key)
+        finite = np.flatnonzero(np.isfinite(vals))
+        assert vals[finite[-1]] > vals[finite[0]]
+
+
+def test_fig6b_optimal_probability(benchmark, scale, record_figure):
+    result = benchmark.pedantic(
+        lambda: generate_figure("fig6b", scale), rounds=1, iterations=1
+    )
+    record_figure(result)
+    opt = result.series_array("optimal_p")
+    assert np.nanmax(opt) <= 0.12 + scale.analysis_p_step  # paper: (0, 0.1]
+    m = result.series_array("broadcasts")
+    assert np.nanmax(m) < 60  # paper: within ~40
+    lat = result.series_array("latency_at_optimum")
+    assert 5.0 <= np.nanmin(lat) and np.nanmax(lat) <= 18.0  # paper: 7-15

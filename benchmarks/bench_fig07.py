@@ -1,0 +1,36 @@
+"""Figure 7: analytic reachability of PB_CAM within a 35-broadcast budget.
+
+Paper headline: the optimal probability is near 0 (and matches
+Fig. 6(b), its dual), the achievable reachability is ~0.70, and simple
+flooding manages < 0.20.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import generate_figure
+
+
+def test_fig7a_budget_sweep(benchmark, scale, record_figure):
+    result = benchmark.pedantic(
+        lambda: generate_figure("fig7a", scale), rounds=1, iterations=1
+    )
+    record_figure(result)
+    for key in result.series:
+        vals = result.series_array(key)
+        assert np.all((vals >= 0) & (vals <= 1))
+
+
+def test_fig7b_optimal_probability(benchmark, scale, record_figure):
+    result = benchmark.pedantic(
+        lambda: generate_figure("fig7b", scale), rounds=1, iterations=1
+    )
+    record_figure(result)
+    opt = result.series_array("optimal_p")
+    assert np.nanmax(opt) <= 0.12 + scale.analysis_p_step
+    reach = result.series_array("reachability")
+    assert np.all(reach > 0.5)  # paper: ~0.70 plateau
+    flood = result.series_array("flooding_reachability")
+    assert np.max(flood) < 0.30  # paper: < 0.20
+    # The dual of fig6b: optimal probabilities agree within a grid step.
+    fig6 = generate_figure("fig6b", scale).series_array("optimal_p")
+    assert np.nanmax(np.abs(opt - fig6)) <= scale.analysis_p_step * 2 + 1e-9

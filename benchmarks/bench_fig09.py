@@ -1,0 +1,33 @@
+"""Figure 9: simulated latency of PB_CAM to 63% reachability.
+
+Paper headline: the latency-optimal probability is close to Fig. 8(b)'s
+and the corresponding latency is about 5 phases.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import generate_figure
+
+
+def test_fig9a_simulated_latency_sweep(benchmark, scale, record_figure):
+    result = benchmark.pedantic(
+        lambda: generate_figure("fig9a", scale), rounds=1, iterations=1
+    )
+    record_figure(result)
+    values = np.concatenate([result.series_array(k) for k in result.series])
+    finite = values[np.isfinite(values)]
+    assert finite.min() >= 1.0
+
+
+def test_fig9b_simulated_optimum(benchmark, scale, record_figure):
+    result = benchmark.pedantic(
+        lambda: generate_figure("fig9b", scale), rounds=1, iterations=1
+    )
+    record_figure(result)
+    latency = result.series_array("latency_phases")
+    # Paper: ~5 phases at the optimum across densities.
+    assert np.nanmax(latency) < 8.0
+    opt = result.series_array("optimal_p")
+    fig8 = generate_figure("fig8b", scale).series_array("optimal_p")
+    # Duality with fig8b, allowing Monte-Carlo noise of a few grid steps.
+    assert np.nanmean(np.abs(opt - fig8)) <= 3 * scale.sim_p_step

@@ -1,0 +1,45 @@
+"""Microbenchmarks of the collision-probability kernels.
+
+These are true pytest-benchmark timings (multiple rounds): the mu table
+build is the setup cost of every ring model, and the vectorized mu
+lookup sits in the innermost loop of the recursion (once per quadrature
+node per ring per phase).
+"""
+
+import numpy as np
+
+from repro.collision.carrier import no_good_slot_table
+from repro.collision.slots import SlotCollisionTable, no_singleton_table
+from repro.collision.poisson import mu_poisson
+
+
+def test_mu_table_build_256(benchmark):
+    result = benchmark(lambda: no_singleton_table(256, 3))
+    assert len(result) == 257
+
+
+def test_mu_table_build_1024(benchmark):
+    result = benchmark(lambda: no_singleton_table(1024, 3))
+    assert len(result) == 1025
+
+
+def test_mu_real_vector_lookup(benchmark):
+    table = SlotCollisionTable(initial_kmax=256)
+    lam = np.linspace(0.0, 150.0, 96)
+    table.mu_real(lam, 3)  # warm the cache
+
+    out = benchmark(lambda: table.mu_real(lam, 3))
+    assert out.shape == (96,)
+
+
+def test_mu_poisson_closed_form(benchmark):
+    lam = np.linspace(0.0, 150.0, 96)
+    out = benchmark(lambda: mu_poisson(lam, 3))
+    assert out.shape == (96,)
+
+
+def test_carrier_table_build_48x48(benchmark):
+    result = benchmark.pedantic(
+        lambda: no_good_slot_table(48, 48, 3), rounds=3, iterations=1
+    )
+    assert result.shape == (49, 49)

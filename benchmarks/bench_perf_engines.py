@@ -1,0 +1,47 @@
+"""Engine microbenchmarks: vectorized slot-stepper vs object-level DES.
+
+DESIGN.md ablation 3: the two engines implement identical aligned-slot
+semantics; the vectorized one exists because the paper's grids need
+thousands of runs.  These benchmarks quantify the gap.
+"""
+
+from repro.analysis.config import AnalysisConfig
+from repro.protocols.pbcast import ProbabilisticRelay, SimpleFlooding
+from repro.sim.config import SimulationConfig
+from repro.sim.desimpl import DesBroadcastSimulation
+from repro.sim.engine import run_broadcast
+
+CFG_MID = SimulationConfig(analysis=AnalysisConfig(rho=60))
+CFG_DENSE = SimulationConfig(analysis=AnalysisConfig(rho=140))
+
+
+def test_vector_engine_pb_rho60(benchmark):
+    res = benchmark(lambda: run_broadcast(ProbabilisticRelay(0.2), CFG_MID, 0))
+    assert res.reachability > 0.5
+
+
+def test_vector_engine_pb_rho140(benchmark):
+    res = benchmark.pedantic(
+        lambda: run_broadcast(ProbabilisticRelay(0.1), CFG_DENSE, 0),
+        rounds=3,
+        iterations=1,
+    )
+    assert res.reachability > 0.5
+
+
+def test_vector_engine_flooding_rho140(benchmark):
+    res = benchmark.pedantic(
+        lambda: run_broadcast(SimpleFlooding(), CFG_DENSE, 0),
+        rounds=3,
+        iterations=1,
+    )
+    assert res.collisions > 0
+
+
+def test_des_engine_pb_rho60(benchmark):
+    res = benchmark.pedantic(
+        lambda: DesBroadcastSimulation(ProbabilisticRelay(0.2), CFG_MID, 0).run(),
+        rounds=3,
+        iterations=1,
+    )
+    assert res.reachability > 0.5

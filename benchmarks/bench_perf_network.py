@@ -1,0 +1,49 @@
+"""Microbenchmarks of deployment sampling and topology construction.
+
+Topology construction dominates per-replication cost in the Monte-Carlo
+sweeps (the broadcast itself touches far fewer node pairs), so the
+grid-bucket CSR builder is the component worth watching.
+"""
+
+import numpy as np
+
+from repro.network.deployment import DiskDeployment
+from repro.network.topology import build_disk_graph_csr
+
+
+def _positions(n, rng):
+    r = 5.0 * np.sqrt(rng.random(n))
+    th = rng.random(n) * 2 * np.pi
+    return np.column_stack((r * np.cos(th), r * np.sin(th)))
+
+
+def test_csr_build_500_nodes(benchmark):
+    pos = _positions(500, np.random.default_rng(0))
+    indptr, indices = benchmark(lambda: build_disk_graph_csr(pos, 1.0))
+    assert len(indptr) == 501
+
+
+def test_csr_build_3500_nodes(benchmark):
+    pos = _positions(3500, np.random.default_rng(1))
+    indptr, indices = benchmark(lambda: build_disk_graph_csr(pos, 1.0))
+    assert len(indptr) == 3501
+    # Sanity: mean degree ~ rho = delta * pi * r^2 = 3500/(pi*25) * pi = 140.
+    assert 100 < len(indices) / 3500 < 180
+
+
+def test_deployment_sample_dense(benchmark):
+    rng = np.random.default_rng(2)
+    dep = benchmark(
+        lambda: DiskDeployment.sample(rho=140, n_rings=5, rng=rng)
+    )
+    assert dep.n_field_nodes == 3500
+
+
+def test_full_deployment_plus_topology(benchmark):
+    def build():
+        rng = np.random.default_rng(3)
+        dep = DiskDeployment.sample(rho=140, n_rings=5, rng=rng)
+        return dep.topology()
+
+    topo = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert topo.n_nodes == 3501

@@ -1,0 +1,53 @@
+"""Shared machinery for the benchmark harness.
+
+Every paper figure has a benchmark that regenerates it and records the
+series the paper plots.  Scale is controlled by the environment:
+
+    REPRO_BENCH_SCALE=quick   (default) coarse grids, seconds-to-minutes
+    REPRO_BENCH_SCALE=full    the paper's exact grids
+
+Each figure benchmark writes its table to ``benchmarks/results/<name>.txt``
+(so output survives pytest's capture) and also prints it (visible with
+``pytest -s``).  Simulation figures share one Monte-Carlo grid per scale
+via the module-level cache in :mod:`repro.experiments.figures`; the first
+simulation benchmark in a session pays for the grid, the rest post-process
+it — mirroring how the experiments themselves share raw data.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.params import ExperimentScale
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> ExperimentScale:
+    """The experiment scale selected by REPRO_BENCH_SCALE."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    if name == "full":
+        return ExperimentScale.full(workers=1)
+    return ExperimentScale.quick(workers=1)
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def record_figure():
+    """Persist a FigureResult's table and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(result) -> None:
+        text = result.to_text()
+        path = RESULTS_DIR / f"{result.figure}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _record

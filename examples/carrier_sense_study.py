@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Appendix A in practice: how carrier sensing shifts the optimal p.
+
+When collisions are triggered by any transmitter within carrier-sense
+range (typically 2r) rather than only within transmission range, the
+effective contention around every receiver roughly quadruples.  This
+study runs the carrier-sense ring model side by side with the base
+model and shows where the optimum moves — then cross-checks one point
+in the carrier-sense simulator.
+"""
+
+import numpy as np
+
+from repro import (
+    AnalysisConfig,
+    CarrierRingModel,
+    ProbabilisticRelay,
+    RingModel,
+    SimulationConfig,
+    aggregate_metric,
+    optimal_probability,
+    replicate,
+)
+from repro.utils.tables import format_table
+
+RHO_GRID = (20, 60, 100)
+PHASES = 5
+
+
+def main() -> None:
+    grid = np.arange(0.02, 1.001, 0.02)
+    rows = []
+    for rho in RHO_GRID:
+        cfg = AnalysisConfig(n_rings=5, rho=rho)
+        base = optimal_probability(
+            RingModel(cfg), "reachability_at_latency", PHASES, p_grid=grid
+        )
+        cs = optimal_probability(
+            CarrierRingModel(cfg), "reachability_at_latency", PHASES, p_grid=grid
+        )
+        rows.append((rho, base.p, cs.p, base.value, cs.value))
+
+    print(
+        format_table(
+            ["rho", "p* (tx-range)", "p* (carrier)", "reach (tx)", "reach (carrier)"],
+            rows,
+            precision=3,
+            title="optimal probability with and without carrier-sense collisions",
+        )
+    )
+
+    # Cross-check one configuration in the simulator.
+    rho, p = 60, 0.2
+    cfg = SimulationConfig(analysis=AnalysisConfig(n_rings=5, rho=rho))
+    base_runs = replicate(ProbabilisticRelay(p), cfg, 10, seed=1)
+    cs_runs = replicate(
+        ProbabilisticRelay(p), cfg.with_(carrier_sense=True), 10, seed=1
+    )
+    base_r = aggregate_metric(
+        base_runs, lambda r: r.reachability_after_phases(PHASES)
+    )
+    cs_r = aggregate_metric(cs_runs, lambda r: r.reachability_after_phases(PHASES))
+    print(
+        f"\nsimulated reach@{PHASES} phases at rho={rho}, p={p}: "
+        f"tx-range {base_r.mean:.3f} vs carrier-sense {cs_r.mean:.3f}"
+    )
+    print(
+        "\nCarrier sensing scales the collision term, not the shape: the"
+        "\noptimum shifts down but still decays with density — the paper's"
+        "\nAppendix A claim."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Data gathering under CAM: the PB_CAM lesson applied to unicast.
+
+The paper's models cover broadcast *and* unicast (Sec. 3.2); this
+example exercises the unicast half on the workload its related-work
+section cites most — convergecast data gathering.  Every node sends one
+report up a routing tree to the base station; under CAM an upward hop
+succeeds only in a collision-free slot.
+
+The experiment sweeps the per-phase transmission probability ``q`` and
+shows the same phenomenon as the broadcast case: saturated contention
+(q = 1) livelocks in dense networks, while ``q ≈ s / rho`` — the
+analogue of the paper's optimal broadcast probability — delivers
+everything at minimal cost.
+"""
+
+from repro import AnalysisConfig, SimulationConfig
+from repro.protocols import run_convergecast
+from repro.utils.tables import format_table
+
+RHO = 25
+Q_VALUES = (1.0, 0.5, 0.25, 0.12, None)  # None = auto (s / mean degree)
+
+
+def main() -> None:
+    cfg = SimulationConfig(analysis=AnalysisConfig(n_rings=3, rho=RHO))
+    rows = []
+    for q in Q_VALUES:
+        res = run_convergecast(
+            cfg,
+            seed=11,
+            tx_probability=q,
+            max_phases=1500,
+            max_attempts_per_hop=150,
+        )
+        label = "auto (s/degree)" if q is None else f"{q:.2f}"
+        rows.append(
+            (
+                label,
+                res.delivery_ratio,
+                res.transmissions,
+                res.transmissions / max(res.delivered, 1),
+                res.phases,
+            )
+        )
+
+    print(
+        format_table(
+            ["q per phase", "delivery ratio", "transmissions", "tx per report", "phases"],
+            rows,
+            precision=3,
+            title=f"convergecast under CAM (rho={RHO}, s=3, one report per node)",
+        )
+    )
+    print(
+        "\nSaturated contention is the unicast broadcast storm; thinning to"
+        "\n~one contender per slot per neighborhood (the PB_CAM optimum"
+        "\ncarried over) restores full delivery at the lowest cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

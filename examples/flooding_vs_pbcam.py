@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""The broadcast-storm story: simple flooding vs tuned PB_CAM vs CFM.
+
+Reproduces the paper's motivating comparison in one table.  For each
+density, it simulates
+
+* simple flooding under CFM — the idealized model where flooding is
+  'optimal' (reachability 1 in P phases),
+* simple flooding under CAM — the same protocol in a collision-aware
+  world (the broadcast storm),
+* PB_CAM with the analytically tuned probability.
+
+Runs ~1 minute serially.
+"""
+
+import numpy as np
+
+from repro import (
+    AnalysisConfig,
+    SimpleFlooding,
+    SimulationConfig,
+    aggregate_metric,
+    optimal_probability,
+    replicate,
+    simulate_pb,
+)
+from repro.utils.tables import format_table
+
+RHO_GRID = (20, 60, 100, 140)
+PHASES = 5
+REPS = 12
+
+
+def mean_reach(runs):
+    return aggregate_metric(
+        runs, lambda r: r.reachability_after_phases(PHASES)
+    ).mean
+
+
+def main() -> None:
+    rows = []
+    for rho in RHO_GRID:
+        cfg = AnalysisConfig(n_rings=5, rho=rho)
+        p_star = optimal_probability(cfg, "reachability_at_latency", PHASES).p
+
+        cam = SimulationConfig(analysis=cfg)
+        cfm = cam.with_(channel="cfm")
+
+        flood_cfm = mean_reach(replicate(SimpleFlooding(), cfm, REPS, seed=rho))
+        flood_cam_runs = replicate(SimpleFlooding(), cam, REPS, seed=rho)
+        flood_cam = mean_reach(flood_cam_runs)
+        pb_runs = simulate_pb(cam, p_star, replications=REPS, seed=rho)
+        pb_cam = mean_reach(pb_runs)
+
+        rows.append(
+            (
+                rho,
+                flood_cfm,
+                flood_cam,
+                pb_cam,
+                p_star,
+                float(np.mean([r.broadcasts_total for r in flood_cam_runs])),
+                float(np.mean([r.broadcasts_total for r in pb_runs])),
+            )
+        )
+
+    print(
+        format_table(
+            [
+                "rho",
+                "flood/CFM reach",
+                "flood/CAM reach",
+                "PB_CAM reach",
+                "tuned p",
+                "flood bcasts",
+                "PB bcasts",
+            ],
+            rows,
+            precision=3,
+            title=f"reachability within {PHASES} phases ({REPS} runs each)",
+        )
+    )
+    print(
+        "\nCFM says flooding is perfect; CAM shows the broadcast storm"
+        "\n(reachability collapsing with density); a tuned p restores the"
+        "\nplateau at a fraction of the energy — the paper's case for"
+        "\ncollision-aware modeling."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Broadcast scheme shootout: the Williams-taxonomy families under CAM.
+
+The paper analyzes simple flooding and the probability-based scheme, and
+names the area-based and neighbor-knowledge families as future work
+(Sec. 2).  This example runs all of them in the collision-aware
+simulator on identical deployments and reports the
+reachability/latency/energy triple for each — the three quantities the
+paper's metrics trade against each other.
+
+Runs ~1 minute serially.
+"""
+
+import numpy as np
+
+from repro import (
+    AnalysisConfig,
+    CounterBasedRelay,
+    DistanceBasedRelay,
+    NeighborKnowledgeRelay,
+    ProbabilisticRelay,
+    SimpleFlooding,
+    SimulationConfig,
+    optimal_probability,
+    replicate,
+)
+from repro.utils.tables import format_table
+
+RHO = 80
+REPS = 10
+
+
+def shootout(slots: int) -> str:
+    cfg = AnalysisConfig(n_rings=5, rho=RHO, slots=slots)
+    sim = SimulationConfig(analysis=cfg)
+    p_star = optimal_probability(cfg, "reachability_at_latency", 5).p
+
+    protocols = [
+        ("simple flooding", SimpleFlooding()),
+        (f"probability p={p_star:.2f}", ProbabilisticRelay(p_star)),
+        ("counter-based (C=2)", CounterBasedRelay(threshold=2)),
+        ("distance-based (0.6r)", DistanceBasedRelay(threshold=0.6)),
+        ("neighbor-knowledge", NeighborKnowledgeRelay()),
+    ]
+
+    rows = []
+    for name, policy in protocols:
+        runs = replicate(policy, sim, REPS, seed=RHO)
+        reach = np.mean([r.reachability for r in runs])
+        reach5 = np.mean([r.reachability_after_phases(5) for r in runs])
+        bcasts = np.mean([r.broadcasts_total for r in runs])
+        collisions = np.mean([r.collisions for r in runs])
+        rows.append((name, reach, reach5, bcasts, collisions))
+
+    return format_table(
+        ["protocol", "final reach", "reach@5ph", "broadcasts", "collision events"],
+        rows,
+        precision=3,
+        title=f"broadcast schemes under CAM (rho={RHO}, s={slots}, {REPS} runs)",
+    )
+
+
+def main() -> None:
+    print(shootout(slots=3))
+    print()
+    print(shootout(slots=8))
+    print(
+        "\nWith the paper's short backoff (s=3), collisions destroy most"
+        "\noverheard packets, so the counter/neighbor suppression schemes"
+        "\ncannot accumulate evidence before their slot and degenerate to"
+        "\nflooding — only the probability scheme economizes.  A longer"
+        "\nassessment window (s=8) lets them work as designed, at the cost"
+        "\nof latency.  The tuned probability scheme stays the cheapest"
+        "\nbut trades away eventual reachability — exactly the trade-space"
+        "\nthe paper's four metrics formalize."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,166 @@
+"""repro — communication models for algorithm design in networked sensor systems.
+
+A full reproduction of Yu, Hong & Prasanna (2005): the Collision Free /
+Collision Aware link models (CFM/CAM), the analytical framework for
+probability-based broadcasting under CAM (PB_CAM), optimal-probability
+search for the paper's four performance metrics, and a slot-level
+wireless broadcast simulator that validates the analysis.
+
+Quick start::
+
+    import repro
+
+    cfg = repro.AnalysisConfig(n_rings=5, rho=100, slots=3)
+    best = repro.optimal_probability(cfg, "reachability_at_latency", 5)
+    print(best.p, best.value)            # optimal broadcast probability
+
+    sim = repro.SimulationConfig(analysis=cfg)
+    runs = repro.simulate_pb(sim, best.p, replications=30, seed=0)
+    print(repro.aggregate_metric(runs, lambda r: r.reachability_after_phases(5)))
+
+Subpackages
+-----------
+``repro.analysis``    the paper's analytical framework (Sec. 4)
+``repro.collision``   slot-collision probability math (Eq. 2, App. A)
+``repro.geometry``    circle/ring geometry (Eq. 1, Sec. 4.2.2)
+``repro.models``      CFM/CAM channels, packets, cost models (Sec. 3)
+``repro.network``     disk deployments and unit-disk topologies
+``repro.protocols``   flooding, PB, and extension relay policies
+``repro.des``         the discrete-event kernel
+``repro.sim``         the two simulation engines and the runner
+``repro.experiments`` per-figure reproduction drivers (Figs. 4-12)
+"""
+
+from repro._version import __version__
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    InfeasibleConstraintError,
+    ModelError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+)
+from repro.analysis import (
+    AnalysisConfig,
+    BroadcastTrace,
+    CarrierRingModel,
+    DensityAwareCostModel,
+    RingModel,
+    TradeoffCurve,
+    energy_at_reachability,
+    flooding_cfm_summary,
+    flooding_success_rate,
+    flooding_trace,
+    latency_at_reachability,
+    optimal_probability,
+    reachability_at_energy,
+    reachability_at_latency,
+    refined_flooding_summary,
+    sweep_metric,
+    tradeoff_curve,
+)
+from repro.collision import mu_exact, mu_poisson, mu_real
+from repro.models import (
+    CollisionAwareChannel,
+    CollisionFreeChannel,
+    CostModel,
+    EnergyLedger,
+    Packet,
+    TdmaSchedule,
+    run_tdma_flooding,
+)
+from repro.network import (
+    DiskDeployment,
+    Topology,
+    connectivity_probability,
+    deployment_stats,
+)
+from repro.protocols import (
+    CounterBasedRelay,
+    DistanceBasedRelay,
+    NeighborKnowledgeRelay,
+    ProbabilisticRelay,
+    SimpleFlooding,
+    run_convergecast,
+)
+from repro.sim import (
+    AggregateResult,
+    DesBroadcastSimulation,
+    ReliableFloodingSimulation,
+    RunResult,
+    SimulationConfig,
+    aggregate_metric,
+    replicate,
+    run_broadcast,
+    simulate_pb,
+)
+from repro.experiments import ExperimentScale, FIGURES, generate_figure
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "ModelError",
+    "ConvergenceError",
+    "SimulationError",
+    "ProtocolError",
+    "InfeasibleConstraintError",
+    # analysis
+    "AnalysisConfig",
+    "RingModel",
+    "CarrierRingModel",
+    "BroadcastTrace",
+    "TradeoffCurve",
+    "DensityAwareCostModel",
+    "reachability_at_latency",
+    "latency_at_reachability",
+    "energy_at_reachability",
+    "reachability_at_energy",
+    "optimal_probability",
+    "sweep_metric",
+    "tradeoff_curve",
+    "flooding_cfm_summary",
+    "flooding_success_rate",
+    "flooding_trace",
+    "refined_flooding_summary",
+    # collision math
+    "mu_exact",
+    "mu_real",
+    "mu_poisson",
+    # models
+    "Packet",
+    "CostModel",
+    "EnergyLedger",
+    "CollisionFreeChannel",
+    "CollisionAwareChannel",
+    "TdmaSchedule",
+    "run_tdma_flooding",
+    # network
+    "DiskDeployment",
+    "Topology",
+    "deployment_stats",
+    "connectivity_probability",
+    # protocols
+    "ProbabilisticRelay",
+    "SimpleFlooding",
+    "CounterBasedRelay",
+    "DistanceBasedRelay",
+    "NeighborKnowledgeRelay",
+    "run_convergecast",
+    # simulation
+    "SimulationConfig",
+    "RunResult",
+    "AggregateResult",
+    "aggregate_metric",
+    "run_broadcast",
+    "DesBroadcastSimulation",
+    "ReliableFloodingSimulation",
+    "replicate",
+    "simulate_pb",
+    # experiments
+    "ExperimentScale",
+    "FIGURES",
+    "generate_figure",
+]

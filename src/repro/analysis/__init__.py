@@ -1,0 +1,93 @@
+"""The PB_CAM analytical framework (paper Sec. 4).
+
+This package is the paper's primary contribution: an analytical model of
+probability-based broadcasting under the Collision Aware Model on a
+uniform disk deployment, and optimizers for the four performance metrics
+of Sec. 4.1.
+
+Typical use::
+
+    from repro.analysis import AnalysisConfig, RingModel, optimal_probability
+
+    cfg = AnalysisConfig(n_rings=5, rho=100, slots=3)
+    trace = RingModel(cfg).run(p=0.13, max_phases=5)
+    trace.reachability_after(5)          # Fig. 4(a) point
+
+    best = optimal_probability(cfg, metric="reachability_at_latency",
+                               constraint=5)
+    best.p, best.value                   # Fig. 4(b) point
+"""
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.ring_model import RingModel
+from repro.analysis.carrier_model import CarrierRingModel
+from repro.analysis.trace import BroadcastTrace
+from repro.analysis.metrics import (
+    energy_at_reachability,
+    latency_at_reachability,
+    reachability_at_energy,
+    reachability_at_latency,
+)
+from repro.analysis.optimizer import (
+    METRICS,
+    OptimizationResult,
+    TradeoffCurve,
+    optimal_intensity,
+    optimal_probability,
+    sweep_metric,
+    tradeoff_curve,
+)
+from repro.analysis.flooding import (
+    flooding_cfm_summary,
+    flooding_success_rate,
+    flooding_trace,
+)
+from repro.analysis.refined import (
+    DensityAwareCostModel,
+    refined_flooding_summary,
+    success_rate_vs_density,
+)
+from repro.analysis.extensions import (
+    SurrogateResult,
+    distance_effective_probability,
+    measured_relay_fraction,
+    surrogate_model,
+)
+from repro.analysis.sensitivity import (
+    MismatchResult,
+    RobustnessBand,
+    density_mismatch_penalty,
+    robust_probability_band,
+)
+
+__all__ = [
+    "AnalysisConfig",
+    "RingModel",
+    "CarrierRingModel",
+    "BroadcastTrace",
+    "reachability_at_latency",
+    "latency_at_reachability",
+    "energy_at_reachability",
+    "reachability_at_energy",
+    "METRICS",
+    "OptimizationResult",
+    "TradeoffCurve",
+    "optimal_intensity",
+    "optimal_probability",
+    "sweep_metric",
+    "tradeoff_curve",
+    "flooding_cfm_summary",
+    "flooding_success_rate",
+    "flooding_trace",
+    "DensityAwareCostModel",
+    "refined_flooding_summary",
+    "success_rate_vs_density",
+    "MismatchResult",
+    "RobustnessBand",
+    "density_mismatch_penalty",
+    "robust_probability_band",
+    "SurrogateResult",
+    "distance_effective_probability",
+    "measured_relay_fraction",
+    "surrogate_model",
+]

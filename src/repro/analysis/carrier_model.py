@@ -1,0 +1,71 @@
+"""Appendix A: the ring recursion under a carrier-sense collision model.
+
+In the carrier-sense variant, a transmission to ``u`` also fails when
+any node within carrier-sense range of ``u`` (but outside transmission
+range) transmits in the same slot.  The recursion is unchanged except
+that the per-node reception probability becomes
+``mu'(g(x) * p, h(x) * p, s)`` (Eq. A.3), where ``h(x)`` counts freshly
+informed nodes in the carrier-sense annulus (Eq. A.2).
+
+Note: the paper prints the integrand of Eq. (A.3) as
+``mu'(g(x), h(x), s)``; consistency with Eq. (4) — only the nodes that
+*decide* to broadcast contend — requires both arguments to be scaled by
+``p``, which is what we implement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.ring_model import RingModel
+from repro.collision.carrier import CarrierCollisionTable
+
+__all__ = ["CarrierRingModel"]
+
+
+class CarrierRingModel(RingModel):
+    """Ring model with carrier-sense collisions (paper Appendix A).
+
+    The carrier-sense radius is ``config.carrier_factor * config.radius``
+    (the paper's "typically twice the transmission range" is the default
+    ``carrier_factor = 2``).
+    """
+
+    def __init__(self, config: AnalysisConfig, *, exact_limit: int = 96):
+        super().__init__(config)
+        self._carrier_table = CarrierCollisionTable(exact_limit=exact_limit)
+        x = self._rule.nodes * config.radius
+        # B(x, k) per ring at quadrature nodes, plus the matching ring window.
+        self._carrier_areas = []
+        self._carrier_windows = []
+        for j in range(1, config.n_rings + 1):
+            self._carrier_areas.append(
+                self.partition.carrier_areas(j, x, config.carrier_radius)
+            )
+            self._carrier_windows.append(
+                self.partition.carrier_window(j, config.carrier_radius)
+            )
+
+    def carrier_neighbors(self, j: int, prev_new: np.ndarray) -> np.ndarray:
+        """Eq. (A.2): expected freshly-informed nodes ``h(x)`` in the
+        carrier-sense annulus of a node in ring ``j``."""
+        P = self.config.n_rings
+        h = np.zeros(self.config.quad_nodes)
+        areas = self._carrier_areas[j - 1]
+        for offset, k in enumerate(self._carrier_windows[j - 1]):
+            if 1 <= k <= P:
+                h += prev_new[k - 1] * areas[:, offset] / self._ring_areas[k - 1]
+        return h
+
+    def _reception_probability(self, j: int, p: float, prev_new: np.ndarray) -> np.ndarray:
+        g = self.informed_neighbors(j, prev_new)
+        h = self.carrier_neighbors(j, prev_new)
+        return self._carrier_table.mu_real(g * p, h * p, self.config.slots)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        c = self.config
+        return (
+            f"CarrierRingModel(P={c.n_rings}, rho={c.rho}, s={c.slots}, "
+            f"carrier={c.carrier_factor}r)"
+        )

@@ -1,0 +1,110 @@
+"""Configuration of the analytical network model.
+
+Mirrors the paper's network-model box in Fig. 1(b): a uniform deployment
+on a circle of radius ``P*r`` with density ``delta``, communication
+model CAM, broadcast primitive, and the phase/slot backoff of Sec. 4.2.
+Everything downstream (ring model, metrics, optimizers, simulators) is
+parameterized by one :class:`AnalysisConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Literal
+
+import numpy as np
+
+from repro.utils.validation import (
+    check_in,
+    check_positive,
+    check_positive_int,
+)
+
+__all__ = ["AnalysisConfig"]
+
+MuMethod = Literal["interpolate", "poisson"]
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Parameters of the PB_CAM analytical model.
+
+    Parameters
+    ----------
+    n_rings:
+        The paper's ``P``: the field is a disk of radius ``P * radius``
+        partitioned into ``P`` rings of width ``radius``.  Paper uses 5.
+    rho:
+        Node density expressed as the expected number of neighbors
+        within transmission range, ``rho = delta * pi * r^2``
+        (Sec. 4.2.3).  Paper sweeps 20..140.
+    slots:
+        Slots per time phase, the paper's ``s`` (paper uses 3).
+    radius:
+        Transmission radius ``r``.  The analysis is scale-free in ``r``;
+        it only matters when comparing against a simulator deployment
+        with physical units.
+    quad_nodes:
+        Gauss–Legendre node count for the radial integral of Eq. (4).
+    mu_method:
+        How ``mu`` is extended to the real-valued expected transmitter
+        count ``g(x) * p``: ``"interpolate"`` (paper-faithful linear
+        interpolation between integer ``K``) or ``"poisson"`` (model the
+        count as Poisson; see DESIGN.md ablation 1).
+    carrier_factor:
+        Carrier-sense radius as a multiple of the transmission radius,
+        used only by :class:`repro.analysis.carrier_model.CarrierRingModel`
+        (Appendix A; paper assumes 2).
+    """
+
+    n_rings: int = 5
+    rho: float = 60.0
+    slots: int = 3
+    radius: float = 1.0
+    quad_nodes: int = 96
+    mu_method: MuMethod = "interpolate"
+    carrier_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        check_positive_int("n_rings", self.n_rings)
+        check_positive("rho", self.rho)
+        check_positive_int("slots", self.slots)
+        check_positive("radius", self.radius)
+        check_positive_int("quad_nodes", self.quad_nodes, minimum=2)
+        check_in("mu_method", self.mu_method, ("interpolate", "poisson"))
+        if self.carrier_factor < 1.0:
+            raise ValueError(
+                f"carrier_factor={self.carrier_factor} must be >= 1 "
+                "(carrier-sense range cannot be shorter than transmission range)"
+            )
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def delta(self) -> float:
+        """Node density per unit area: ``rho / (pi r^2)``."""
+        return self.rho / (np.pi * self.radius**2)
+
+    @property
+    def field_radius(self) -> float:
+        """Radius of the sensor field, ``P * r``."""
+        return self.n_rings * self.radius
+
+    @property
+    def n_nodes(self) -> float:
+        """Expected node count ``N = delta * pi * (P r)^2 = rho * P^2``."""
+        return self.rho * self.n_rings**2
+
+    @property
+    def carrier_radius(self) -> float:
+        """Carrier-sense radius in the same units as ``radius``."""
+        return self.carrier_factor * self.radius
+
+    def with_rho(self, rho: float) -> "AnalysisConfig":
+        """A copy of this configuration at a different density."""
+        return replace(self, rho=rho)
+
+    def with_(self, **changes) -> "AnalysisConfig":
+        """A copy with arbitrary fields replaced (validated again)."""
+        return replace(self, **changes)

@@ -1,0 +1,174 @@
+"""Extending the analytical framework to the other broadcast families.
+
+The paper's future work (Sec. 2) names the extension of its analysis to
+the area-based and neighbor-knowledge schemes.  The key observation that
+makes a first-order extension possible: the ring recursion only sees a
+scheme through *how many freshly informed nodes relay* — the
+``g(x) * p`` term.  Any suppression scheme whose relay decision is
+(approximately) independent of position therefore has a PB_CAM
+*surrogate*: probability-based broadcast at the scheme's effective
+relay fraction ``p_eff``.
+
+Two ways to obtain ``p_eff``:
+
+* **closed form** where geometry gives one — for the distance (area-
+  based) scheme, the informing sender is approximately area-uniform in
+  the receiver's range disk, so
+  ``P(relay) = P(dist >= t·r) = 1 - t^2`` (:func:`distance_effective_probability`);
+* **measurement** for any scheme — run a few simulations and read the
+  realized relay fraction off the energy ledger
+  (:func:`measured_relay_fraction`), then model with that.
+
+:func:`surrogate_model` packages the workflow and reports the surrogate
+trace next to the simulated ground truth; the benchmark
+``bench_extension_surrogates.py`` quantifies the approximation error per
+scheme.  The surrogate deliberately ignores the *spatial correlation*
+of suppression decisions (distance-based relays sit near the wavefront,
+which helps propagation), so it is a lower-fidelity model than the
+native PB analysis — the error column is the honest price tag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.ring_model import RingModel
+from repro.analysis.trace import BroadcastTrace
+from repro.protocols.base import RelayPolicy
+from repro.sim.config import SimulationConfig
+from repro.sim.results import RunResult
+from repro.sim.runner import replicate
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_positive_int, check_probability
+
+__all__ = [
+    "distance_effective_probability",
+    "measured_relay_fraction",
+    "SurrogateResult",
+    "surrogate_model",
+]
+
+
+def distance_effective_probability(threshold: float, p: float = 1.0) -> float:
+    """Closed-form relay fraction of the distance-based scheme.
+
+    A receiver relays iff its informing sender lies at distance
+    ``>= threshold * r``.  With nodes uniform in the plane, the sender's
+    position within the receiver's range disk is approximately
+    area-uniform, so the relay probability is the annulus fraction
+    ``1 - threshold^2`` (times any extra thinning ``p``).
+    """
+    threshold = check_probability("threshold", threshold)
+    p = check_probability("p", p)
+    return p * (1.0 - threshold**2)
+
+
+def measured_relay_fraction(
+    policy: RelayPolicy,
+    config: SimulationConfig,
+    seed: SeedLike,
+    *,
+    replications: int = 6,
+) -> float:
+    """Realized relay fraction of any scheme, from simulation.
+
+    ``(broadcasts - 1) / informed``: of the nodes that got the packet,
+    how many re-broadcast it (the source's own transmission excluded
+    from both sides).
+    """
+    check_positive_int("replications", replications)
+    runs = replicate(policy, config, replications, seed)
+    num = sum(r.broadcasts_total - 1 for r in runs)
+    den = sum(int(r.new_informed_by_slot.sum()) for r in runs)
+    if den == 0:
+        return 0.0
+    return num / den
+
+
+@dataclass(frozen=True)
+class SurrogateResult:
+    """A suppression scheme modeled as PB_CAM at its effective probability.
+
+    Attributes
+    ----------
+    scheme:
+        The policy's name.
+    p_eff:
+        The effective relay fraction used.
+    p_eff_source:
+        ``"closed-form"`` or ``"measured"``.
+    trace:
+        The surrogate's analytical trace (a plain ring-model run).
+    simulated:
+        The ground-truth runs the surrogate is judged against (empty if
+        validation was skipped).
+    """
+
+    scheme: str
+    p_eff: float
+    p_eff_source: str
+    trace: BroadcastTrace
+    simulated: list[RunResult] = field(default_factory=list, repr=False)
+
+    def reachability_error(self, phases: float) -> float:
+        """|surrogate - simulated| reachability within a phase budget."""
+        if not self.simulated:
+            raise ValueError("surrogate was built without validation runs")
+        sim = float(
+            np.mean([r.reachability_after_phases(phases) for r in self.simulated])
+        )
+        return abs(self.trace.reachability_after(phases) - sim)
+
+
+def surrogate_model(
+    policy: RelayPolicy,
+    config: AnalysisConfig,
+    seed: SeedLike = 0,
+    *,
+    p_eff: float | None = None,
+    replications: int = 6,
+    validate: bool = True,
+    max_phases: int = 60,
+) -> SurrogateResult:
+    """Model a suppression scheme analytically via its relay fraction.
+
+    Parameters
+    ----------
+    policy:
+        The scheme (any :class:`~repro.protocols.base.RelayPolicy`).
+    config:
+        The analytical network model.
+    p_eff:
+        Effective probability to use; ``None`` measures it from
+        simulation (closed forms, where known, can be passed in).
+    replications:
+        Simulations for measuring and/or validating.
+    validate:
+        Keep the ground-truth runs on the result for error reporting.
+    """
+    from repro.utils.rng import as_seed_sequence
+
+    sim_config = SimulationConfig(analysis=config)
+    measure_seed, validate_seed = as_seed_sequence(seed).spawn(2)
+    runs: list[RunResult] = []
+    if p_eff is None:
+        p_eff = measured_relay_fraction(
+            policy, sim_config, measure_seed, replications=replications
+        )
+        source = "measured"
+    else:
+        p_eff = check_probability("p_eff", p_eff)
+        source = "closed-form"
+    if validate:
+        runs = replicate(policy, sim_config, replications, validate_seed)
+    trace = RingModel(config).run(p_eff, max_phases=max_phases)
+    return SurrogateResult(
+        scheme=policy.name,
+        p_eff=float(p_eff),
+        p_eff_source=source,
+        trace=trace,
+        simulated=runs,
+    )

@@ -1,0 +1,180 @@
+"""Simple-flooding analysis: CFM closed forms, CAM behaviour, Fig. 12.
+
+Simple flooding is probability-based broadcasting with ``p = 1``
+(Sec. 4).  Under CFM it is trivially analyzable — reachability 1, the
+wavefront advances one ring per phase, and every node broadcasts exactly
+once.  Under CAM it is the ``p = 1`` slice of the ring model, and the
+paper's concluding experiment (Fig. 12) relates its per-broadcast
+*success rate* to the optimal broadcast probability of Fig. 4(b).
+
+The success rate of a broadcast is the fraction of the sender's
+neighbors that receive it collision-free.  We derive it from the same
+machinery as Eq. (4): in phase ``T_i``, a node at ring ``j``, offset
+``x`` has ``g(x)`` transmitting neighbors, and the expected number of
+packets it receives collision-free is the expected number of singleton
+slots, ``g ((s-1)/s)^(g-1)``.  Integrating this over a receiver
+population counts successful (packet, receiver) pairs; dividing by
+(transmissions x rho) — each transmission is offered to ``rho``
+neighbors on average — gives the phase's success rate.
+
+The paper does not state whether already-informed neighbors count as
+successful receivers.  Counting only *uninformed* receivers reproduces
+Fig. 12's observation — an optimal-``p``/success-rate ratio that is
+nearly constant in density (~10 here; the paper reports ~11) — so that
+is the default; ``receivers="all"`` selects the other reading (ratio
+~2, also roughly constant but drifting).  See EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.ring_model import RingModel
+from repro.analysis.trace import BroadcastTrace
+from repro.collision.slots import expected_singleton_slots
+from repro.utils.validation import check_in, check_positive_int
+
+__all__ = [
+    "FloodingCfmSummary",
+    "flooding_cfm_summary",
+    "flooding_trace",
+    "SuccessRateResult",
+    "flooding_success_rate",
+]
+
+
+@dataclass(frozen=True)
+class FloodingCfmSummary:
+    """Closed-form performance of simple flooding under CFM (Sec. 4).
+
+    Attributes
+    ----------
+    reachability:
+        Always 1.0: CFM transmissions are reliable and, at the paper's
+        densities, the deployment is connected in expectation.
+    latency_phases:
+        ``P``: the wavefront crosses one ring of width ``r`` per phase.
+    broadcasts:
+        ``N + 1``: every node (plus the source) broadcasts exactly once.
+    """
+
+    reachability: float
+    latency_phases: int
+    broadcasts: float
+
+
+def flooding_cfm_summary(config: AnalysisConfig) -> FloodingCfmSummary:
+    """Simple flooding in CFM: the paper's ``O(Pr)`` time / ``O(Ne)`` energy."""
+    return FloodingCfmSummary(
+        reachability=1.0,
+        latency_phases=config.n_rings,
+        broadcasts=config.n_nodes + 1.0,
+    )
+
+
+def flooding_trace(
+    config: AnalysisConfig | RingModel, *, max_phases: int = 200
+) -> BroadcastTrace:
+    """Simple flooding in CAM — the ``p = 1`` run of the ring model."""
+    model = config if isinstance(config, RingModel) else RingModel(config)
+    return model.run(1.0, max_phases=max_phases)
+
+
+@dataclass(frozen=True)
+class SuccessRateResult:
+    """Per-phase and aggregate broadcast success rates of flooding in CAM.
+
+    Attributes
+    ----------
+    rate:
+        Aggregate success rate: collision-free (packet, receiver) pairs
+        divided by offered pairs, over the whole execution (phase 1 —
+        the source's solo, collision-free broadcast — excluded, since
+        the paper correlates the rate of the *relaying* broadcasts).
+    per_phase_rates:
+        The same ratio per phase; index 0 (the source phase) is 1.0 by
+        construction, ``NaN`` for phases with no transmissions.
+    per_phase_transmissions:
+        Expected transmissions per phase (the weights of the aggregate).
+    receivers:
+        Which receiver population was counted (``"uninformed"``/``"all"``).
+    trace:
+        The underlying flooding trace.
+    """
+
+    rate: float
+    per_phase_rates: np.ndarray = field(repr=False)
+    per_phase_transmissions: np.ndarray = field(repr=False)
+    receivers: str = "uninformed"
+    trace: BroadcastTrace | None = field(default=None, repr=False)
+
+
+def flooding_success_rate(
+    config: AnalysisConfig | RingModel,
+    *,
+    receivers: str = "uninformed",
+    max_phases: int = 200,
+) -> SuccessRateResult:
+    """Average broadcast success rate of simple flooding in CAM (Fig. 12).
+
+    Parameters
+    ----------
+    config:
+        Analytical configuration or a prebuilt ring model.
+    receivers:
+        ``"uninformed"`` counts only receivers that have not yet been
+        informed (default; see module docstring); ``"all"`` counts every
+        in-range node.
+    max_phases:
+        Phase budget for the underlying flooding run.
+    """
+    check_in("receivers", receivers, ("uninformed", "all"))
+    model = config if isinstance(config, RingModel) else RingModel(config)
+    check_positive_int("max_phases", max_phases)
+    cfg = model.config
+    trace = model.run(1.0, max_phases=max_phases)
+    new = trace.new_by_phase_ring  # (phases, P)
+    phases = new.shape[0]
+
+    rates = np.ones(phases)
+    transmissions = np.zeros(phases)
+    transmissions[0] = 1.0  # the source
+    cum = new[0].copy()
+    for i in range(1, phases):
+        prev = new[i - 1]
+        tx = float(prev.sum())
+        transmissions[i] = tx
+        if tx <= 0:
+            rates[i] = np.nan
+            cum += new[i]
+            continue
+        delivered = 0.0
+        for j in range(1, cfg.n_rings + 1):
+            g = model.informed_neighbors(j, prev)
+            singles = expected_singleton_slots(g, cfg.slots)
+            if receivers == "all":
+                density = cfg.delta
+            else:
+                area = model.partition.ring_areas[j - 1]
+                density = max(cfg.delta - cum[j - 1] / area, 0.0)
+            delivered += density * model.ring_integral(j, singles)
+        offered = tx * cfg.rho
+        rates[i] = delivered / offered
+        cum += new[i]
+
+    weights = transmissions[1:]
+    valid = ~np.isnan(rates[1:])
+    if weights[valid].sum() > 0:
+        aggregate = float(np.average(rates[1:][valid], weights=weights[valid]))
+    else:  # degenerate: nothing ever transmitted after the source
+        aggregate = 1.0
+    return SuccessRateResult(
+        rate=aggregate,
+        per_phase_rates=rates,
+        per_phase_transmissions=transmissions,
+        receivers=receivers,
+        trace=trace,
+    )

@@ -1,0 +1,106 @@
+"""The four performance metrics of Sec. 4.1, as standalone evaluators.
+
+Each function builds (or accepts) a :class:`~repro.analysis.ring_model.RingModel`,
+runs the recursion at one broadcast probability, and extracts one metric:
+
+======================================  =============  ==========================
+function                                paper metric   figure
+======================================  =============  ==========================
+:func:`reachability_at_latency`         metric 1       Fig. 4 (max) / Fig. 8 (sim)
+:func:`latency_at_reachability`         metric 3       Fig. 5 (min) / Fig. 9 (sim)
+:func:`energy_at_reachability`          metric 4       Fig. 6 (min) / Fig. 10 (sim)
+:func:`reachability_at_energy`          metric 5       Fig. 7 (max) / Fig. 11 (sim)
+======================================  =============  ==========================
+
+Metrics 2 and 6 (minimizing energy or latency under a latency/energy
+constraint) are excluded for the paper's reason: their optimum is the
+degenerate "never broadcast".
+
+Latency-constrained evaluation truncates the recursion at the constraint;
+the other metrics run the wave to quiescence (bounded by ``max_phases``).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.ring_model import RingModel
+from repro.errors import InfeasibleConstraintError
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = [
+    "reachability_at_latency",
+    "latency_at_reachability",
+    "energy_at_reachability",
+    "reachability_at_energy",
+]
+
+#: Phase budget for run-to-quiescence metrics.  At the paper's smallest
+#: probabilities the wave takes tens of phases to die; 200 is far past
+#: anything observable.
+QUIESCENCE_PHASES = 200
+
+
+def _model(config_or_model: AnalysisConfig | RingModel) -> RingModel:
+    if isinstance(config_or_model, RingModel):
+        return config_or_model
+    return RingModel(config_or_model)
+
+
+def reachability_at_latency(
+    config: AnalysisConfig | RingModel, p: float, latency: float
+) -> float:
+    """Metric 1: reachability achieved within ``latency`` time phases."""
+    latency = check_positive("latency", latency)
+    model = _model(config)
+    trace = model.run(p, max_phases=max(1, math.ceil(latency)))
+    return trace.reachability_after(latency)
+
+
+def latency_at_reachability(
+    config: AnalysisConfig | RingModel,
+    p: float,
+    reachability: float,
+    *,
+    max_phases: int = QUIESCENCE_PHASES,
+) -> float:
+    """Metric 3: fractional phases needed for a reachability target.
+
+    Raises :class:`~repro.errors.InfeasibleConstraintError` when the
+    target is unattainable at this ``(p, rho)`` (plotted as gaps in
+    Fig. 5).
+    """
+    max_phases = check_positive_int("max_phases", max_phases)
+    model = _model(config)
+    trace = model.run(p, max_phases=max_phases)
+    return trace.latency_to(reachability)
+
+
+def energy_at_reachability(
+    config: AnalysisConfig | RingModel,
+    p: float,
+    reachability: float,
+    *,
+    max_phases: int = QUIESCENCE_PHASES,
+) -> float:
+    """Metric 4: expected broadcasts spent reaching a reachability target."""
+    max_phases = check_positive_int("max_phases", max_phases)
+    model = _model(config)
+    trace = model.run(p, max_phases=max_phases)
+    return trace.broadcasts_to(reachability)
+
+
+def reachability_at_energy(
+    config: AnalysisConfig | RingModel,
+    p: float,
+    budget: float,
+    *,
+    max_phases: int = QUIESCENCE_PHASES,
+) -> float:
+    """Metric 5: reachability achieved within a broadcast budget."""
+    budget = check_positive("budget", budget)
+    max_phases = check_positive_int("max_phases", max_phases)
+    model = _model(config)
+    trace = model.run(p, max_phases=max_phases)
+    return trace.reachability_within_energy(budget)

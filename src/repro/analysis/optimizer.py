@@ -1,0 +1,354 @@
+"""Optimal broadcast-probability search (the "Choose p" box of Fig. 1(b)).
+
+The paper optimizes ``p`` by sweeping a grid (0.01 .. 1.00 in steps of
+0.01 for the analysis; Sec. 4.2.3).  :func:`sweep_metric` evaluates one
+metric over such a grid reusing a single :class:`RingModel`;
+:func:`optimal_probability` picks the best grid point and can optionally
+refine it by golden-section search between its grid neighbors.
+
+Infeasible points (a reachability target that a small ``p`` can never
+attain) evaluate to ``NaN`` in sweeps and are excluded from the optimum,
+matching the gaps in the paper's Figs. 5(a)/6(a).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Literal
+
+import numpy as np
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.metrics import (
+    energy_at_reachability,
+    latency_at_reachability,
+    reachability_at_energy,
+    reachability_at_latency,
+)
+from repro.analysis.ring_model import RingModel
+from repro.errors import InfeasibleConstraintError
+from repro.utils.validation import check_in, check_positive
+
+__all__ = [
+    "MetricSpec",
+    "METRICS",
+    "OptimizationResult",
+    "TradeoffCurve",
+    "default_probability_grid",
+    "sweep_metric",
+    "optimal_probability",
+    "tradeoff_curve",
+    "optimal_intensity",
+]
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One optimizable metric: an evaluator plus its optimization sense."""
+
+    name: str
+    evaluate: Callable[[RingModel, float, float], float]
+    sense: Literal["max", "min"]
+    constraint_name: str
+
+    def better(self, a: float, b: float) -> bool:
+        """True if value ``a`` beats value ``b`` under this metric's sense."""
+        if math.isnan(a):
+            return False
+        if math.isnan(b):
+            return True
+        return a > b if self.sense == "max" else a < b
+
+
+METRICS: dict[str, MetricSpec] = {
+    "reachability_at_latency": MetricSpec(
+        "reachability_at_latency", reachability_at_latency, "max", "latency"
+    ),
+    "latency_at_reachability": MetricSpec(
+        "latency_at_reachability", latency_at_reachability, "min", "reachability"
+    ),
+    "energy_at_reachability": MetricSpec(
+        "energy_at_reachability", energy_at_reachability, "min", "reachability"
+    ),
+    "reachability_at_energy": MetricSpec(
+        "reachability_at_energy", reachability_at_energy, "max", "energy budget"
+    ),
+}
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """Outcome of an optimal-probability search.
+
+    Attributes
+    ----------
+    metric:
+        Metric name (a key of :data:`METRICS`).
+    constraint:
+        The constraint value the metric was evaluated under.
+    p:
+        The best broadcast probability found.
+    value:
+        The metric value at ``p``.
+    p_grid, values:
+        The sweep used for the search (``values`` holds ``NaN`` at
+        infeasible points); useful for plotting the full curve.
+    config:
+        The analytical configuration.
+    """
+
+    metric: str
+    constraint: float
+    p: float
+    value: float
+    p_grid: np.ndarray = field(repr=False)
+    values: np.ndarray = field(repr=False)
+    config: AnalysisConfig = field(repr=False)
+
+    @property
+    def feasible_fraction(self) -> float:
+        """Fraction of swept probabilities where the constraint was feasible."""
+        return float(np.mean(~np.isnan(self.values)))
+
+
+def default_probability_grid(step: float = 0.01) -> np.ndarray:
+    """The paper's analysis grid: ``step, 2*step, ..., 1.0``."""
+    step = check_positive("step", step)
+    if step > 1.0:
+        raise ValueError("grid step cannot exceed 1")
+    n = int(round(1.0 / step))
+    return np.linspace(step, n * step, n)
+
+
+def sweep_metric(
+    config: AnalysisConfig | RingModel,
+    metric: str,
+    constraint: float,
+    p_grid: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Evaluate one metric over a probability grid.
+
+    Returns
+    -------
+    (p_grid, values):
+        ``values[i]`` is the metric at ``p_grid[i]``, ``NaN`` where the
+        constraint is infeasible.
+    """
+    spec: MetricSpec = METRICS[check_in("metric", metric, METRICS)]
+    model = config if isinstance(config, RingModel) else RingModel(config)
+    grid = default_probability_grid() if p_grid is None else np.asarray(p_grid, float)
+    if grid.ndim != 1 or grid.size == 0:
+        raise ValueError("p_grid must be a non-empty 1-D array")
+    values = np.empty(grid.size)
+    for i, p in enumerate(grid):
+        try:
+            values[i] = spec.evaluate(model, float(p), constraint)
+        except InfeasibleConstraintError:
+            values[i] = np.nan
+    return grid, values
+
+
+def _golden_refine(
+    evaluate: Callable[[float], float],
+    spec: MetricSpec,
+    lo: float,
+    hi: float,
+    *,
+    iterations: int = 24,
+) -> tuple[float, float]:
+    """Golden-section search for a unimodal metric on ``[lo, hi]``.
+
+    Infeasible evaluations are treated as worst-possible, which pushes
+    the search back into the feasible region.
+    """
+    worst = -math.inf if spec.sense == "max" else math.inf
+
+    def f(p: float) -> float:
+        try:
+            return evaluate(p)
+        except InfeasibleConstraintError:
+            return worst
+
+    invphi = (math.sqrt(5.0) - 1.0) / 2.0
+    a, b = lo, hi
+    c = b - invphi * (b - a)
+    d = a + invphi * (b - a)
+    fc, fd = f(c), f(d)
+    for _ in range(iterations):
+        if spec.better(fc, fd):
+            b, d, fd = d, c, fc
+            c = b - invphi * (b - a)
+            fc = f(c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + invphi * (b - a)
+            fd = f(d)
+    p_best = c if spec.better(fc, fd) else d
+    return p_best, f(p_best)
+
+
+def optimal_intensity(
+    config: AnalysisConfig | RingModel,
+    metric: str,
+    constraint: float,
+    *,
+    p_grid: np.ndarray | None = None,
+    refine: bool = True,
+) -> float:
+    """The density-free optimum: the product ``p* · rho``.
+
+    The ring recursion is invariant under ``(rho, p) → (k·rho, p/k)``
+    (``g ∝ rho`` and ``mu`` sees ``g·p``; arrivals rescale by ``k``), so
+    for any metric whose constraint is density-free the optimal
+    *transmission intensity* ``p·rho`` — expected transmitters per
+    transmission-range area per phase — is one number for the whole
+    density family.  Tuning at a new density reduces to
+    ``p = optimal_intensity / rho`` (clipped to 1), which is how the
+    library implements Fig. 4(b)'s "rapidly decaying" curve in closed
+    form once a single optimization has been paid.
+
+    The invariance is exact for the expectation recursion; at small
+    ``rho`` the clip ``p ≤ 1`` binds and the family leaves the invariant
+    manifold (visible as the flattening of Fig. 4(b)'s left end).
+    """
+    result = optimal_probability(
+        config, metric, constraint, p_grid=p_grid, refine=refine
+    )
+    return result.p * result.config.rho
+
+
+@dataclass(frozen=True)
+class TradeoffCurve:
+    """The reachability/energy trade-off at a fixed latency budget.
+
+    One point per swept probability: the reachability achieved within
+    the budget and the broadcasts spent getting there.  ``efficient``
+    marks the Pareto-optimal subset (no other point has both more
+    reachability and fewer broadcasts) — the menu a deployment planner
+    actually chooses from.
+    """
+
+    latency: float
+    p_grid: np.ndarray = field(repr=False)
+    reachability: np.ndarray = field(repr=False)
+    broadcasts: np.ndarray = field(repr=False)
+    efficient: np.ndarray = field(repr=False)
+    config: AnalysisConfig = field(repr=False)
+
+    def frontier(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(p, reachability, broadcasts)`` of the efficient points,
+        ordered by increasing energy."""
+        idx = np.flatnonzero(self.efficient)
+        order = idx[np.argsort(self.broadcasts[idx])]
+        return self.p_grid[order], self.reachability[order], self.broadcasts[order]
+
+
+def tradeoff_curve(
+    config: AnalysisConfig | RingModel,
+    latency: float,
+    *,
+    p_grid: np.ndarray | None = None,
+) -> TradeoffCurve:
+    """Sweep the reachability-vs-energy trade-off at one latency budget.
+
+    For every probability, one ring-model run yields both the
+    reachability within ``latency`` phases and the broadcasts spent by
+    then; the Pareto-efficient subset is marked.  This generalizes the
+    paper's single-metric optima: metrics 1 and 5 are the two endpoints
+    of this frontier.
+    """
+    latency = check_positive("latency", latency)
+    model = config if isinstance(config, RingModel) else RingModel(config)
+    grid = default_probability_grid() if p_grid is None else np.asarray(p_grid, float)
+    reach = np.empty(grid.size)
+    energy = np.empty(grid.size)
+    horizon = max(1, math.ceil(latency))
+    for i, p in enumerate(grid):
+        trace = model.run(float(p), max_phases=horizon)
+        reach[i] = trace.reachability_after(latency)
+        energy[i] = trace.broadcasts_at(latency)
+    # Pareto filter: efficient iff no point strictly dominates.
+    efficient = np.ones(grid.size, dtype=bool)
+    for i in range(grid.size):
+        dominated = (reach >= reach[i]) & (energy <= energy[i])
+        dominated &= (reach > reach[i]) | (energy < energy[i])
+        if np.any(dominated):
+            efficient[i] = False
+    return TradeoffCurve(
+        latency=latency,
+        p_grid=grid,
+        reachability=reach,
+        broadcasts=energy,
+        efficient=efficient,
+        config=model.config,
+    )
+
+
+def optimal_probability(
+    config: AnalysisConfig | RingModel,
+    metric: str,
+    constraint: float,
+    *,
+    p_grid: np.ndarray | None = None,
+    refine: bool = False,
+) -> OptimizationResult:
+    """Find the broadcast probability optimizing one paper metric.
+
+    Parameters
+    ----------
+    config:
+        Analytical configuration, or a prebuilt model (e.g. a
+        :class:`~repro.analysis.carrier_model.CarrierRingModel` to
+        optimize under carrier-sense collisions).
+    metric:
+        One of :data:`METRICS`.
+    constraint:
+        Latency budget (phases), reachability target, or broadcast
+        budget, depending on the metric.
+    p_grid:
+        Probability grid; defaults to the paper's 0.01-step grid.
+    refine:
+        If true, polish the best grid point with golden-section search
+        between its grid neighbors (the metrics are smooth and, over the
+        paper's parameter range, unimodal in ``p``).
+
+    Raises
+    ------
+    InfeasibleConstraintError
+        If no grid point satisfies the constraint.
+    """
+    spec: MetricSpec = METRICS[check_in("metric", metric, METRICS)]
+    model = config if isinstance(config, RingModel) else RingModel(config)
+    grid, values = sweep_metric(model, metric, constraint, p_grid)
+    if np.all(np.isnan(values)):
+        raise InfeasibleConstraintError(
+            f"{metric} with constraint {constraint} is infeasible for every "
+            f"swept probability (rho={model.config.rho})"
+        )
+    if spec.sense == "max":
+        best_idx = int(np.nanargmax(values))
+    else:
+        best_idx = int(np.nanargmin(values))
+    p_best = float(grid[best_idx])
+    v_best = float(values[best_idx])
+
+    if refine and grid.size >= 2:
+        lo = float(grid[max(best_idx - 1, 0)])
+        hi = float(grid[min(best_idx + 1, grid.size - 1)])
+        if hi > lo:
+            p_ref, v_ref = _golden_refine(
+                lambda p: spec.evaluate(model, p, constraint), spec, lo, hi
+            )
+            if spec.better(v_ref, v_best):
+                p_best, v_best = float(p_ref), float(v_ref)
+
+    return OptimizationResult(
+        metric=metric,
+        constraint=float(constraint),
+        p=p_best,
+        value=v_best,
+        p_grid=grid,
+        values=values,
+        config=model.config,
+    )

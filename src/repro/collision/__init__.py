@@ -1,0 +1,48 @@
+"""Slot-collision probability mathematics (paper Eq. 2 and Appendix A).
+
+Under CAM with the phase/slot backoff of Sec. 4.2, a receiver gets a
+packet in a slot iff exactly one of its transmitting neighbors chose
+that slot (and, in the carrier-sense extension, no node in the
+carrier-sense annulus transmitted in it).  This package computes the
+probability that *at least one* slot succeeds:
+
+* :func:`mu_exact` / :class:`SlotCollisionTable` — the paper's
+  ``mu(K, s)`` via an exact dynamic program equivalent to Eq. (2);
+* :func:`mu_real` — the real-argument extension the paper implicitly
+  uses when plugging the expectation ``g(x) * p`` into ``mu``;
+* :mod:`repro.collision.poisson` — closed forms under a Poisson
+  transmitter count (used as an ablation and a large-``K`` fallback);
+* :mod:`repro.collision.carrier` — the two-type ``mu'(K1, K2, s)`` of
+  Appendix A.
+"""
+
+from repro.collision.slots import (
+    SlotCollisionTable,
+    expected_singleton_slots,
+    mu_exact,
+    mu_real,
+)
+from repro.collision.poisson import (
+    expected_singleton_slots_poisson,
+    mu_poisson,
+    mu_poisson_carrier,
+    mu_poisson_mixture,
+)
+from repro.collision.carrier import CarrierCollisionTable, mu_carrier_exact, mu_carrier_real
+from repro.collision.counts import duplicates_at_least, singleton_count_distribution
+
+__all__ = [
+    "SlotCollisionTable",
+    "expected_singleton_slots",
+    "mu_exact",
+    "mu_real",
+    "expected_singleton_slots_poisson",
+    "mu_poisson",
+    "mu_poisson_carrier",
+    "mu_poisson_mixture",
+    "CarrierCollisionTable",
+    "mu_carrier_exact",
+    "mu_carrier_real",
+    "duplicates_at_least",
+    "singleton_count_distribution",
+]

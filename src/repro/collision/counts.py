@@ -1,0 +1,92 @@
+"""The full distribution of collision-free receptions per phase.
+
+Eq. (2) gives only ``P(at least one singleton slot)``; schemes that
+react to *how many* copies a node hears (the counter-based family) need
+the whole distribution of the singleton-slot count ``S`` for ``K``
+transmitters in ``s`` slots.  The same first-slot conditioning yields
+
+    ``f_{K,s}(m) = P(S = m)``
+    ``f_{K,0} = [K == 0]`` at ``m = 0``
+    ``f_{K,s}(m) = sum_j Binom(K, j; 1/s) * f_{K-j, s-1}(m - [j == 1])``
+
+Consistency is over-determined and the tests exploit it:
+``P(S >= 1) == mu(K, s)`` (Eq. 2) and
+``E[S] == K ((s-1)/s)^(K-1)`` (the linearity formula).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.collision.slots import _binom_pmf_matrix
+from repro.utils.validation import check_positive_int
+
+__all__ = ["singleton_count_distribution", "duplicates_at_least"]
+
+
+def singleton_count_distribution(k: int, slots: int) -> np.ndarray:
+    """``P(S = m)`` for ``m = 0..slots``: the singleton-slot count law.
+
+    Parameters
+    ----------
+    k:
+        Number of items (transmitters); ``k = 0`` returns a point mass
+        at 0.
+    slots:
+        Number of buckets (slots per phase).
+
+    Returns
+    -------
+    numpy.ndarray
+        Length ``slots + 1`` probability vector.
+    """
+    k = check_positive_int("k", k, minimum=0)
+    slots = check_positive_int("slots", slots)
+
+    # dist[k_remaining] = distribution over m for k_remaining items in
+    # the slots processed so far (built up slot by slot).
+    # Start with zero slots: all items must be "placed" later, so the
+    # only valid state is the empty one; we instead iterate forward.
+    # dist_s[k'][m]: distribution of singletons among the first `s'`
+    # slots given k' items fell into them — built by slot recursion on
+    # the *last* slot of the prefix.
+    max_m = slots
+    # s' = 1: the single slot holds all kk items; singleton iff kk == 1.
+    dist = np.zeros((k + 1, max_m + 1))
+    dist[0, 0] = 1.0
+    for kk in range(1, k + 1):
+        dist[kk, 1 if kk == 1 else 0] = 1.0
+    for s_prime in range(2, slots + 1):
+        w = _binom_pmf_matrix(k, 1.0 / s_prime)
+        nxt = np.zeros_like(dist)
+        for kk in range(k + 1):
+            for j in range(kk + 1):
+                p_j = w[kk, j]
+                if p_j == 0.0:
+                    continue
+                if j == 1:
+                    nxt[kk, 1:] += p_j * dist[kk - 1, :-1]
+                else:
+                    nxt[kk] += p_j * dist[kk - j]
+        dist = nxt
+    out = dist[k]
+    # Round-off hygiene: renormalize the ~1e-15 drift.
+    total = out.sum()
+    if total > 0:
+        out = out / total
+    return out
+
+
+def duplicates_at_least(k: int, slots: int, threshold: int) -> float:
+    """``P(S >= threshold)``: at least ``threshold`` collision-free packets.
+
+    This is the analytic building block of counter-based suppression:
+    a node overhearing ``threshold`` clean copies cancels its relay.
+    """
+    check_positive_int("threshold", threshold, minimum=0)
+    if threshold == 0:
+        return 1.0
+    pmf = singleton_count_distribution(k, slots)
+    if threshold > slots:
+        return 0.0
+    return float(pmf[threshold:].sum())

@@ -1,0 +1,110 @@
+"""Closed-form slot-collision probabilities under Poisson transmitter counts.
+
+When the number of transmitters is Poisson(``lam``) and each picks one
+of ``s`` slots uniformly at random, the per-slot occupancies are
+*independent* Poisson(``lam/s``) variables (Poisson thinning).  A slot
+delivers a packet iff it holds exactly one transmitter, so
+
+    ``P(slot good) = (lam/s) * exp(-lam/s)``
+    ``mu_poisson(lam, s) = 1 - (1 - (lam/s) e^{-lam/s})^s``
+
+This is *exact* for the Poisson mixture — not an approximation of it —
+which gives the library a strong cross-check: mixing the exact
+fixed-``K`` table :func:`repro.collision.slots.mu_exact` over a Poisson
+pmf must reproduce the closed form (see :func:`mu_poisson_mixture` and
+the property tests).
+
+In the analytical framework these forms serve two roles:
+
+* an **ablation** against the paper's plug-the-expectation convention
+  (``mu(g(x)p, s)`` with linear interpolation), quantifying how much the
+  choice of real-``K`` extension matters;
+* a **fallback** for the carrier-sense model at transmitter counts where
+  the exact two-type DP (Appendix A) is too expensive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import gammaln
+
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "mu_poisson",
+    "mu_poisson_carrier",
+    "mu_poisson_mixture",
+    "expected_singleton_slots_poisson",
+]
+
+
+def mu_poisson(lam, slots: int):
+    """P(at least one singleton slot) for Poisson(``lam``) transmitters."""
+    slots = check_positive_int("slots", slots)
+    lam_arr = np.asarray(lam, dtype=float)
+    if np.any(lam_arr < 0):
+        raise ValueError("expected counts must be non-negative")
+    per = lam_arr / slots
+    good = per * np.exp(-per)
+    out = 1.0 - (1.0 - good) ** slots
+    return float(out[()]) if out.ndim == 0 else out
+
+
+def mu_poisson_carrier(lam_tx, lam_cs, slots: int):
+    """Carrier-sense variant: Poisson(``lam_tx``) in-range transmitters,
+    Poisson(``lam_cs``) carrier-sense-only transmitters.
+
+    A slot is good iff it holds exactly one in-range transmitter and no
+    carrier-sense-only transmitter:
+
+        ``P(slot good) = (lam_tx/s) * exp(-(lam_tx + lam_cs)/s)``
+    """
+    slots = check_positive_int("slots", slots)
+    lt = np.asarray(lam_tx, dtype=float)
+    lc = np.asarray(lam_cs, dtype=float)
+    if np.any(lt < 0) or np.any(lc < 0):
+        raise ValueError("expected counts must be non-negative")
+    good = (lt / slots) * np.exp(-(lt + lc) / slots)
+    out = 1.0 - (1.0 - good) ** slots
+    return float(out[()]) if out.ndim == 0 else out
+
+
+def mu_poisson_mixture(lam: float, slots: int, *, tail: float = 1e-12) -> float:
+    """Poisson mixture of the *exact* fixed-``K`` ``mu`` values.
+
+    Computes ``sum_k Pois(k; lam) * mu(k, s)`` by direct summation over
+    the Poisson pmf (truncated once the remaining tail mass is below
+    ``tail``).  Mathematically identical to :func:`mu_poisson`; kept as
+    an independent implementation for verification.
+    """
+    slots = check_positive_int("slots", slots)
+    lam = float(lam)
+    if lam < 0:
+        raise ValueError("expected count must be non-negative")
+    if lam == 0.0:
+        return 0.0
+    from repro.collision.slots import SlotCollisionTable
+
+    # Truncate at a point where the upper Poisson tail is negligible.
+    kmax = int(np.ceil(lam + 12.0 * np.sqrt(lam) + 30.0))
+    table = SlotCollisionTable(initial_kmax=max(kmax, 8)).table(slots, kmax)
+    ks = np.arange(kmax + 1)
+    log_pmf = ks * np.log(lam) - lam - gammaln(ks + 1.0)
+    pmf = np.exp(log_pmf)
+    covered = pmf.sum()
+    if 1.0 - covered > max(tail, 1e-9):  # pragma: no cover - defensive
+        raise RuntimeError(f"Poisson truncation too aggressive: tail {1.0 - covered}")
+    return float(np.dot(pmf, table[: kmax + 1]))
+
+
+def expected_singleton_slots_poisson(lam, slots: int):
+    """Expected number of singleton slots under Poisson(``lam``) transmitters.
+
+    ``E = s * (lam/s) * exp(-lam/s) = lam * exp(-lam/s)``.
+    """
+    slots = check_positive_int("slots", slots)
+    lam_arr = np.asarray(lam, dtype=float)
+    if np.any(lam_arr < 0):
+        raise ValueError("expected counts must be non-negative")
+    out = lam_arr * np.exp(-lam_arr / slots)
+    return float(out[()]) if out.ndim == 0 else out

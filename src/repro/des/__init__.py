@@ -1,0 +1,18 @@
+"""A small discrete-event simulation kernel.
+
+Stands in for the event engine the paper's authors got from GloMoSim.
+The kernel is deliberately generic — a time-ordered event heap with
+deterministic tie-breaking, plus generator-based processes — so the
+object-level network simulator (:mod:`repro.sim.desimpl`) reads like
+protocol pseudocode.
+
+Determinism contract: two runs scheduling the same callbacks at the
+same times execute them in the same order (ties break by priority,
+then insertion order), so seeded simulations are bit-reproducible.
+"""
+
+from repro.des.events import Event, EventHandle
+from repro.des.simulator import Simulator
+from repro.des.process import Process, Timeout
+
+__all__ = ["Event", "EventHandle", "Simulator", "Process", "Timeout"]

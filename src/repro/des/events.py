@@ -1,0 +1,51 @@
+"""Event records for the DES kernel."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Event", "EventHandle"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback, ordered by ``(time, priority, seq)``.
+
+    ``seq`` is the kernel-assigned insertion number; it makes the heap
+    order total and therefore the execution order deterministic.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[..., Any] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """A caller-facing ticket for a scheduled event.
+
+    Supports cancellation (lazy: the kernel skips cancelled events when
+    they surface) and inspection of the scheduled time.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event):
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Scheduled execution time."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` was called before execution."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from running (idempotent; no effect if run)."""
+        self._event.cancelled = True

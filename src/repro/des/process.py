@@ -1,0 +1,61 @@
+"""Generator-based processes on top of the event kernel.
+
+A process is a generator that yields :class:`Timeout` objects; the
+kernel resumes it when the timeout elapses.  This is the minimal slice
+of the simpy programming model the network simulator needs (simpy
+itself is not available offline), and it keeps protocol code in
+straight-line style::
+
+    def node_behaviour(sim):
+        yield Timeout(1.5)        # back off
+        transmit()
+        yield Timeout(slot_len)   # transmission duration
+        done()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.errors import SimulationError
+
+__all__ = ["Timeout", "Process"]
+
+
+@dataclass(frozen=True)
+class Timeout:
+    """Yielded by a process to sleep for ``delay`` simulation time."""
+
+    delay: float
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise SimulationError(f"negative timeout: {self.delay}")
+
+
+class Process:
+    """Drives one generator as a cooperative simulation process."""
+
+    def __init__(self, sim, generator: Generator):
+        self.sim = sim
+        self.generator = generator
+        self.finished = False
+        self.value = None
+
+    def start(self):
+        """Schedule the first resume immediately; returns the event handle."""
+        return self.sim.schedule(0.0, self._resume)
+
+    def _resume(self) -> None:
+        try:
+            yielded = next(self.generator)
+        except StopIteration as stop:
+            self.finished = True
+            self.value = stop.value
+            return
+        if not isinstance(yielded, Timeout):
+            raise SimulationError(
+                f"process yielded {yielded!r}; only Timeout is supported"
+            )
+        self.sim.schedule(yielded.delay, self._resume)

@@ -1,0 +1,51 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so callers can catch library failures without
+masking genuine bugs (``TypeError`` from numpy, etc.).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ModelError",
+    "ConvergenceError",
+    "SimulationError",
+    "ProtocolError",
+    "InfeasibleConstraintError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter or combination of parameters was supplied."""
+
+
+class ModelError(ReproError):
+    """The analytical model was used outside its domain of validity."""
+
+
+class ConvergenceError(ModelError):
+    """An iterative computation failed to converge within its budget."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event or slotted simulator reached an invalid state."""
+
+
+class ProtocolError(SimulationError):
+    """A protocol implementation violated the engine contract."""
+
+
+class InfeasibleConstraintError(ModelError):
+    """A requested constraint (reachability/latency/energy) cannot be met.
+
+    Raised, for example, when a reachability target exceeds what a given
+    broadcast probability can ever deliver (paper Sec. 4.2.4: for some
+    ``(p, rho)`` combinations 72% reachability is unattainable).
+    """

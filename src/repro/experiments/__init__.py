@@ -1,0 +1,39 @@
+"""Reproduction drivers for every evaluation figure in the paper.
+
+Each figure has a generator function in
+:mod:`repro.experiments.figures`, registered in
+:data:`repro.experiments.figures.FIGURES`; all share the parameter sets
+of :mod:`repro.experiments.params` (the paper's Sec. 4.2.3/Sec. 5
+settings) and return :class:`~repro.experiments.report.FigureResult`
+objects that render to the text tables the benchmark harness prints.
+
+Run everything from the command line::
+
+    repro-figures --scale quick          # minutes, coarse grids
+    repro-figures --scale full           # the paper's grids
+    repro-figures --figures fig4b,fig12  # a subset
+"""
+
+from repro.experiments.params import ExperimentScale, PaperParams
+from repro.experiments.report import FigureResult
+from repro.experiments.figures import FIGURES, generate_figure
+from repro.experiments.io import (
+    figure_to_csv,
+    load_figure,
+    load_figures,
+    save_figure,
+    save_figures,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "PaperParams",
+    "FigureResult",
+    "FIGURES",
+    "generate_figure",
+    "figure_to_csv",
+    "save_figure",
+    "load_figure",
+    "save_figures",
+    "load_figures",
+]

@@ -1,0 +1,128 @@
+"""Persistence for experiment artifacts (JSON + CSV).
+
+Reproduction runs are expensive at full scale; these helpers let the
+CLI and the benchmark harness write machine-readable results that a
+later session (or an external plotting tool) can reload without
+re-running anything.  JSON round-trips the full
+:class:`~repro.experiments.report.FigureResult` (including notes);
+CSV exports just the series block for spreadsheet/pandas consumption.
+"""
+
+from __future__ import annotations
+
+import csv
+import io as _io
+import json
+import math
+from pathlib import Path
+from typing import Iterable
+
+import numpy as np
+
+from repro.experiments.report import FigureResult
+
+__all__ = [
+    "figure_to_json",
+    "figure_from_json",
+    "save_figure",
+    "load_figure",
+    "figure_to_csv",
+    "save_figures",
+    "load_figures",
+]
+
+
+def _jsonable(value):
+    """Convert numpy scalars/arrays and NaN to JSON-safe values."""
+    if isinstance(value, (np.floating, float)):
+        v = float(value)
+        return None if math.isnan(v) else v
+    if isinstance(value, (np.integer, int)):
+        return int(value)
+    if isinstance(value, np.ndarray):
+        return [_jsonable(x) for x in value.tolist()]
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(x) for x in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return value
+
+
+def figure_to_json(result: FigureResult) -> str:
+    """Serialize one figure result to a JSON string (NaN becomes null)."""
+    payload = {
+        "schema": "repro.figure/1",
+        "figure": result.figure,
+        "title": result.title,
+        "x_name": result.x_name,
+        "x_values": _jsonable(list(result.x_values)),
+        "series": {k: _jsonable(list(v)) for k, v in result.series.items()},
+        "notes": _jsonable(dict(result.notes)),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def figure_from_json(text: str) -> FigureResult:
+    """Reconstruct a figure result from :func:`figure_to_json` output."""
+    payload = json.loads(text)
+    if payload.get("schema") != "repro.figure/1":
+        raise ValueError(
+            f"not a repro figure document (schema={payload.get('schema')!r})"
+        )
+
+    def restore(seq):
+        return np.array(
+            [np.nan if v is None else float(v) for v in seq], dtype=float
+        )
+
+    return FigureResult(
+        figure=payload["figure"],
+        title=payload["title"],
+        x_name=payload["x_name"],
+        x_values=restore(payload["x_values"]),
+        series={k: restore(v) for k, v in payload["series"].items()},
+        notes=payload.get("notes", {}),
+    )
+
+
+def save_figure(result: FigureResult, path: str | Path) -> Path:
+    """Write one figure result as JSON; returns the path written."""
+    path = Path(path)
+    path.write_text(figure_to_json(result) + "\n")
+    return path
+
+
+def load_figure(path: str | Path) -> FigureResult:
+    """Load one figure result saved by :func:`save_figure`."""
+    return figure_from_json(Path(path).read_text())
+
+
+def figure_to_csv(result: FigureResult) -> str:
+    """The series block as CSV: one x column plus one column per series."""
+    buf = _io.StringIO()
+    writer = csv.writer(buf)
+    headers = [result.x_name] + list(result.series)
+    writer.writerow(headers)
+    columns = [list(result.x_values)] + [list(v) for v in result.series.values()]
+    for row in zip(*columns):
+        writer.writerow(
+            ["" if isinstance(v, float) and math.isnan(v) else v for v in row]
+        )
+    return buf.getvalue()
+
+
+def save_figures(results: Iterable[FigureResult], directory: str | Path) -> list[Path]:
+    """Write a batch of figures as ``<figure>.json`` files in ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    return [save_figure(r, directory / f"{r.figure}.json") for r in results]
+
+
+def load_figures(directory: str | Path) -> dict[str, FigureResult]:
+    """Load every ``*.json`` figure in a directory, keyed by figure name."""
+    directory = Path(directory)
+    out = {}
+    for path in sorted(directory.glob("*.json")):
+        result = load_figure(path)
+        out[result.figure] = result
+    return out

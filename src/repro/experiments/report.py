@@ -1,0 +1,64 @@
+"""Figure results as structured data + plain-text rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.utils.tables import format_mapping, format_series
+
+__all__ = ["FigureResult"]
+
+
+@dataclass(frozen=True)
+class FigureResult:
+    """One reproduced figure: an x-axis, named series, and headline notes.
+
+    Attributes
+    ----------
+    figure:
+        Registry key, e.g. ``"fig4b"``.
+    title:
+        Human-readable description matching the paper's caption.
+    x_name / x_values:
+        The independent variable (``p`` for the (a)-panels, ``rho`` for
+        the (b)-panels).
+    series:
+        Named y-series aligned with ``x_values`` (NaN = infeasible or
+        omitted, exactly like gaps in the paper's plots).
+    notes:
+        Headline scalars (optimal probabilities, plateau levels, paper
+        reference values) — what EXPERIMENTS.md quotes.
+    """
+
+    figure: str
+    title: str
+    x_name: str
+    x_values: Sequence[float]
+    series: Mapping[str, Sequence[float]] = field(default_factory=dict)
+    notes: Mapping[str, object] = field(default_factory=dict)
+
+    def to_text(self, *, precision: int = 4) -> str:
+        """Render as the aligned text table the harness prints."""
+        parts = [
+            format_series(
+                self.x_name,
+                list(self.x_values),
+                {k: list(v) for k, v in self.series.items()},
+                precision=precision,
+                title=f"{self.figure}: {self.title}",
+            )
+        ]
+        if self.notes:
+            parts.append(format_mapping(dict(self.notes), precision=precision, title="notes"))
+        return "\n\n".join(parts)
+
+    def to_markdown(self, *, precision: int = 4) -> str:
+        """Render as a fenced-code markdown section for EXPERIMENTS.md."""
+        return f"### {self.figure}\n\n{self.title}\n\n```\n{self.to_text(precision=precision)}\n```\n"
+
+    def series_array(self, name: str) -> np.ndarray:
+        """One named series as a float array."""
+        return np.asarray(list(self.series[name]), dtype=float)

@@ -1,0 +1,129 @@
+"""Command-line driver: regenerate the paper's evaluation figures.
+
+Installed as the ``repro-figures`` console script::
+
+    repro-figures --scale quick                 # every figure, coarse grids
+    repro-figures --scale full --workers 8      # the paper's grids
+    repro-figures --figures fig4b,fig12         # a subset
+    repro-figures --markdown -o results.md      # EXPERIMENTS.md-style output
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.figures import FIGURES, generate_figure
+from repro.experiments.params import ExperimentScale
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-figures",
+        description="Regenerate the evaluation figures of Yu/Hong/Prasanna 2005.",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("quick", "full"),
+        default="quick",
+        help="grid resolution: 'quick' for minutes, 'full' for the paper's grids",
+    )
+    parser.add_argument(
+        "--figures",
+        default="all",
+        help="comma-separated figure names (default: all); see --list",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available figures and exit"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="processes for simulation replication (default: cores-1)",
+    )
+    parser.add_argument(
+        "--markdown", action="store_true", help="emit markdown sections"
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="append an ASCII chart of each figure's series",
+    )
+    parser.add_argument(
+        "--save-json",
+        default=None,
+        metavar="DIR",
+        help="also save each figure as JSON into DIR",
+    )
+    parser.add_argument(
+        "-o", "--output", default=None, help="write to a file instead of stdout"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.list:
+        print("\n".join(sorted(FIGURES)))
+        return 0
+
+    if args.scale == "full":
+        scale = ExperimentScale.full(workers=args.workers)
+    else:
+        scale = ExperimentScale.quick(workers=args.workers)
+
+    if args.figures == "all":
+        names = list(FIGURES)
+    else:
+        names = [n.strip() for n in args.figures.split(",") if n.strip()]
+        unknown = [n for n in names if n not in FIGURES]
+        if unknown:
+            print(f"unknown figures: {', '.join(unknown)}", file=sys.stderr)
+            return 2
+
+    sections: list[str] = []
+    saved: list = []
+    for name in names:
+        start = time.perf_counter()
+        result = generate_figure(name, scale)
+        elapsed = time.perf_counter() - start
+        body = result.to_markdown() if args.markdown else result.to_text()
+        if args.chart:
+            from repro.viz import line_chart
+
+            try:
+                chart = line_chart(
+                    list(result.x_values),
+                    {k: list(v) for k, v in result.series.items()},
+                    title=f"{result.figure} ({result.x_name} axis)",
+                )
+                body = f"{body}\n\n{chart}"
+            except ValueError:
+                pass  # nothing chartable (e.g. all-NaN series)
+        if args.save_json:
+            saved.append(result)
+        sections.append(f"{body}\n[{name}: {elapsed:.1f}s at scale={scale.name}]")
+
+    if args.save_json and saved:
+        from repro.experiments.io import save_figures
+
+        paths = save_figures(saved, args.save_json)
+        sections.append(f"[saved {len(paths)} JSON figures to {args.save_json}]")
+
+    text = "\n\n".join(sections) + "\n"
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

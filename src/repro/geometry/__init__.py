@@ -1,0 +1,19 @@
+"""Planar geometry used by the analytical framework and deployments."""
+
+from repro.geometry.circles import intersection_area, lens_area, paper_f
+from repro.geometry.rings import RingPartition
+from repro.geometry.sampling import (
+    sample_annulus,
+    sample_disk,
+    sample_ring_offsets,
+)
+
+__all__ = [
+    "intersection_area",
+    "lens_area",
+    "paper_f",
+    "RingPartition",
+    "sample_annulus",
+    "sample_disk",
+    "sample_ring_offsets",
+]

@@ -1,0 +1,100 @@
+"""Circle–circle intersection areas (paper Eq. 1).
+
+The paper parameterizes the intersection of two circles ``L1`` (radius
+``D1``) and ``L2`` (radius ``D2``) by ``x``, the signed distance from
+the *center of L2* to the *border of L1* (positive outside, negative
+inside), so the center distance is ``d = D1 + x``.  Equation (1) gives
+the lens area for the properly-intersecting case only; the analytical
+framework also hits the degenerate cases constantly (containment when a
+node sits deep inside a ring, disjointness near the field boundary, and
+``D1 = 0`` for the innermost ring), so :func:`intersection_area` handles
+all of them and is the function the rest of the library uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["intersection_area", "lens_area", "paper_f"]
+
+
+def intersection_area(r1, r2, d):
+    """Area of intersection of two disks, robust to all configurations.
+
+    Parameters
+    ----------
+    r1, r2:
+        Disk radii (non-negative; broadcastable arrays accepted).
+    d:
+        Distance between centers (non-negative).
+
+    Returns
+    -------
+    numpy.ndarray or float
+        The overlap area: ``0`` when disjoint (``d >= r1 + r2``), the
+        smaller disk's area when contained (``d <= |r1 - r2|``), and the
+        standard lens formula otherwise.  Scalar inputs return a scalar.
+    """
+    r1a, r2a, da = np.broadcast_arrays(
+        np.asarray(r1, dtype=float), np.asarray(r2, dtype=float), np.asarray(d, dtype=float)
+    )
+    scalar = r1a.ndim == 0
+    r1a = np.atleast_1d(r1a)
+    r2a = np.atleast_1d(r2a)
+    da = np.atleast_1d(da)
+    if np.any(r1a < 0) or np.any(r2a < 0):
+        raise ValueError("disk radii must be non-negative")
+    if np.any(da < 0):
+        raise ValueError("center distance must be non-negative")
+
+    out = np.zeros(r1a.shape, dtype=float)
+    # Relative slack keeps subnormal distances (e.g. d = 5e-324 between
+    # equal circles) out of the lens formula, where 2*d*r underflows to
+    # zero and produces 0/0.
+    slack = 1e-12 * (r1a + r2a + da)
+    contained = da <= np.abs(r1a - r2a) + slack
+    rmin = np.minimum(r1a, r2a)
+    out[contained] = np.pi * rmin[contained] ** 2
+
+    disjoint = da >= r1a + r2a - slack
+    lens = ~(contained | disjoint)
+    if np.any(lens):
+        out[lens] = lens_area(r1a[lens], r2a[lens], da[lens])
+    if scalar:
+        return float(out[0])
+    return out.reshape(np.broadcast(r1, r2, d).shape)
+
+
+def lens_area(r1, r2, d):
+    """Lens area for *properly intersecting* circles.
+
+    Standard two-circular-segment formula; callers must guarantee
+    ``|r1 - r2| < d < r1 + r2``.  Arguments are clipped before ``arccos``
+    so values at the tangency boundaries do not produce NaNs from
+    floating-point round-off.
+    """
+    r1 = np.asarray(r1, dtype=float)
+    r2 = np.asarray(r2, dtype=float)
+    d = np.asarray(d, dtype=float)
+    cos1 = np.clip((d**2 + r1**2 - r2**2) / (2.0 * d * r1), -1.0, 1.0)
+    cos2 = np.clip((d**2 + r2**2 - r1**2) / (2.0 * d * r2), -1.0, 1.0)
+    seg1 = r1**2 * np.arccos(cos1)
+    seg2 = r2**2 * np.arccos(cos2)
+    # Heron-style product; clip negatives produced by round-off at tangency.
+    prod = (-d + r1 + r2) * (d + r1 - r2) * (d - r1 + r2) * (d + r1 + r2)
+    tri = 0.5 * np.sqrt(np.maximum(prod, 0.0))
+    return seg1 + seg2 - tri
+
+
+def paper_f(d1, d2, x):
+    """The paper's ``f(D1, D2, x)`` (Eq. 1) with the paper's parameterization.
+
+    ``x`` is the signed distance from the center of ``L2`` to the border
+    of ``L1``; the center distance is ``D1 + x``.  Degenerate
+    configurations (containment, disjointness, ``D1 = 0``) are resolved
+    the same way as :func:`intersection_area`, which Eq. (1) itself
+    leaves undefined.
+    """
+    d1 = np.asarray(d1, dtype=float)
+    x = np.asarray(x, dtype=float)
+    return intersection_area(d1, d2, np.maximum(d1 + x, 0.0))

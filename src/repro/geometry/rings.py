@@ -1,0 +1,185 @@
+"""The concentric-ring partition of the sensor field (paper Sec. 4.2.2).
+
+The analytical framework views the circular field of radius ``P*r`` as
+``P`` concentric rings of width ``r`` around the source.  For a node
+``u`` in ring ``R_j`` at radial offset ``x`` from the ring's inner
+boundary, the paper needs
+
+* ``A(x, k)`` — the part of ring ``R_k`` within transmission range ``r``
+  of ``u`` (nonzero only for ``k = j-1, j, j+1``), and
+* ``B(x, k)`` — the part of ring ``R_k`` within carrier-sense range but
+  beyond transmission range of ``u`` (Appendix A; nonzero for
+  ``k = j-2 .. j+2`` when the carrier-sense radius is ``2r``).
+
+Rather than transcribing the paper's telescoping subtraction formulas
+(which are special cases), we compute every such quantity from a single
+primitive, :meth:`RingPartition.ring_disk_overlap` — the area of
+``ring_k ∩ disk(u, R)`` — which is exact for all configurations,
+including the innermost ring (``D1 = 0``) and the field boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.circles import intersection_area
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = ["RingPartition"]
+
+
+@dataclass(frozen=True)
+class RingPartition:
+    """``n_rings`` concentric rings of width ``radius`` around the origin.
+
+    Rings are numbered ``1 .. n_rings`` from the center, matching the
+    paper; ring ``j`` is the annulus ``(r*(j-1), r*j]`` (ring 1 is the
+    inner disk).
+
+    Parameters
+    ----------
+    n_rings:
+        The paper's ``P``.
+    radius:
+        The transmission radius ``r`` (= ring width).  All downstream
+        analysis is scale-free in ``r``, so the default of 1 is the
+        common choice.
+    """
+
+    n_rings: int
+    radius: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive_int("n_rings", self.n_rings)
+        check_positive("radius", self.radius)
+
+    # ------------------------------------------------------------------
+    # basic ring quantities
+    # ------------------------------------------------------------------
+    @property
+    def field_radius(self) -> float:
+        """Radius of the whole field, ``P * r``."""
+        return self.n_rings * self.radius
+
+    @property
+    def field_area(self) -> float:
+        """Area of the whole field, ``pi * (P*r)^2``."""
+        return float(np.pi * self.field_radius**2)
+
+    def ring_area(self, k) -> np.ndarray | float:
+        """Area ``C_k = pi r^2 (2k - 1)`` of ring ``k`` (vectorized)."""
+        k = np.asarray(k)
+        if np.any(k < 1) or np.any(k > self.n_rings):
+            raise ValueError(f"ring index out of range 1..{self.n_rings}: {k!r}")
+        out = np.pi * self.radius**2 * (2.0 * k - 1.0)
+        return float(out[()]) if out.ndim == 0 else out
+
+    @property
+    def ring_areas(self) -> np.ndarray:
+        """``C_1 .. C_P`` as an array (index 0 is ring 1)."""
+        return np.pi * self.radius**2 * (2.0 * np.arange(1, self.n_rings + 1) - 1.0)
+
+    def ring_of(self, radial) -> np.ndarray | int:
+        """Ring index containing radial distance(s) ``radial`` from the origin.
+
+        The origin itself belongs to ring 1; distances beyond the field
+        raise ``ValueError``.
+        """
+        rad = np.asarray(radial, dtype=float)
+        if np.any(rad < 0) or np.any(rad > self.field_radius * (1 + 1e-12)):
+            raise ValueError("radial distance outside the field")
+        idx = np.minimum(
+            np.ceil(rad / self.radius).astype(int), self.n_rings
+        )
+        idx = np.maximum(idx, 1)
+        return int(idx[()]) if idx.ndim == 0 else idx
+
+    # ------------------------------------------------------------------
+    # overlap primitives
+    # ------------------------------------------------------------------
+    def ring_disk_overlap(self, k: int, radial, disk_radius: float):
+        """Area of ring ``k`` intersected with a disk at distance ``radial``.
+
+        Parameters
+        ----------
+        k:
+            Ring index; values outside ``1..n_rings`` return 0 (there is
+            no ring there — used freely by the window helpers).
+        radial:
+            Distance(s) from the origin to the disk center.
+        disk_radius:
+            Radius of the disk around the node.
+        """
+        if k < 1 or k > self.n_rings:
+            rad = np.asarray(radial, dtype=float)
+            zero = np.zeros(rad.shape)
+            return float(zero[()]) if zero.ndim == 0 else zero
+        outer = intersection_area(self.radius * k, disk_radius, radial)
+        inner = intersection_area(self.radius * (k - 1), disk_radius, radial)
+        return np.maximum(outer - inner, 0.0)
+
+    def _radial(self, j: int, x) -> np.ndarray:
+        """Distance from origin for offset ``x`` inside ring ``j``."""
+        if j < 1 or j > self.n_rings:
+            raise ValueError(f"ring index out of range 1..{self.n_rings}: {j}")
+        x = np.asarray(x, dtype=float)
+        if np.any(x < 0) or np.any(x > self.radius * (1 + 1e-12)):
+            raise ValueError("offset x must lie in [0, r]")
+        return self.radius * (j - 1) + x
+
+    # ------------------------------------------------------------------
+    # the paper's A(x, k) and B(x, k)
+    # ------------------------------------------------------------------
+    def transmission_areas(self, j: int, x) -> np.ndarray:
+        """``A(x, k)`` for ``k = j-1, j, j+1`` (paper Sec. 4.2.2).
+
+        Returns an array of shape ``x.shape + (3,)``; the last axis is
+        ordered inner/current/outer ring.  Entries for rings that do not
+        exist (``k < 1`` or ``k > P``) are zero.  For interior rings the
+        three entries sum to ``pi r^2`` — the transmission disk is fully
+        partitioned; for the outermost ring the remainder lies outside
+        the field.
+        """
+        radial = self._radial(j, x)
+        cols = [
+            self.ring_disk_overlap(k, radial, self.radius) for k in (j - 1, j, j + 1)
+        ]
+        return np.stack(np.broadcast_arrays(*cols), axis=-1)
+
+    def carrier_areas(self, j: int, x, carrier_radius: float | None = None) -> np.ndarray:
+        """``B(x, k)`` — ring areas in the carrier-sense annulus (Appendix A).
+
+        Parameters
+        ----------
+        j, x:
+            Node ring and radial offset, as in :meth:`transmission_areas`.
+        carrier_radius:
+            Carrier-sense radius; defaults to ``2r`` (the paper's
+            "typically twice the transmission range").
+
+        Returns
+        -------
+        numpy.ndarray
+            Shape ``x.shape + (2*w + 1,)`` where ``w = ceil(c/r)``; the
+            last axis covers rings ``j-w .. j+w``.  ``B(x,k)`` counts only
+            the annulus between transmission and carrier-sense radius.
+        """
+        c = 2.0 * self.radius if carrier_radius is None else float(carrier_radius)
+        if c < self.radius:
+            raise ValueError("carrier-sense radius must be >= transmission radius")
+        radial = self._radial(j, x)
+        w = int(np.ceil(c / self.radius))
+        cols = []
+        for k in range(j - w, j + w + 1):
+            full = self.ring_disk_overlap(k, radial, c)
+            inner = self.ring_disk_overlap(k, radial, self.radius)
+            cols.append(np.maximum(full - inner, 0.0))
+        return np.stack(np.broadcast_arrays(*cols), axis=-1)
+
+    def carrier_window(self, j: int, carrier_radius: float | None = None) -> list[int]:
+        """Ring indices matching the last axis of :meth:`carrier_areas`."""
+        c = 2.0 * self.radius if carrier_radius is None else float(carrier_radius)
+        w = int(np.ceil(c / self.radius))
+        return list(range(j - w, j + w + 1))

@@ -1,0 +1,68 @@
+"""Random spatial sampling for deployments and Monte-Carlo checks.
+
+All samplers take an explicit :class:`numpy.random.Generator`; nothing
+in the library touches global numpy random state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = ["sample_disk", "sample_annulus", "sample_ring_offsets"]
+
+
+def sample_disk(
+    n: int, radius: float, rng: np.random.Generator, *, center: tuple[float, float] = (0.0, 0.0)
+) -> np.ndarray:
+    """Sample ``n`` points uniformly from a disk.
+
+    Uses the inverse-CDF radial transform ``rho = R * sqrt(U)`` rather
+    than rejection, so cost is deterministic and fully vectorized.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(n, 2)`` array of xy coordinates.
+    """
+    n = check_positive_int("n", n, minimum=0)
+    radius = check_positive("radius", radius)
+    r = radius * np.sqrt(rng.random(n))
+    theta = rng.random(n) * (2.0 * np.pi)
+    pts = np.column_stack((r * np.cos(theta), r * np.sin(theta)))
+    return pts + np.asarray(center, dtype=float)
+
+
+def sample_annulus(
+    n: int, inner: float, outer: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample ``n`` points uniformly from the annulus ``inner < |p| <= outer``."""
+    n = check_positive_int("n", n, minimum=0)
+    inner = check_positive("inner", inner, allow_zero=True)
+    outer = check_positive("outer", outer)
+    if outer <= inner:
+        raise ValueError(f"annulus requires outer > inner, got [{inner}, {outer}]")
+    # Uniform over area: r^2 uniform on [inner^2, outer^2].
+    r = np.sqrt(rng.uniform(inner**2, outer**2, size=n))
+    theta = rng.random(n) * (2.0 * np.pi)
+    return np.column_stack((r * np.cos(theta), r * np.sin(theta)))
+
+
+def sample_ring_offsets(
+    n: int, ring: int, width: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample radial offsets ``x in [0, width]`` for points uniform in ring ``ring``.
+
+    Within a ring, a uniformly placed node's offset ``x`` from the inner
+    boundary follows density proportional to ``(r*(ring-1) + x)`` — the
+    same radial weight that appears in the paper's Eq. (4) integrand.
+    Used by tests to Monte-Carlo-validate the quadrature.
+    """
+    n = check_positive_int("n", n, minimum=0)
+    ring = check_positive_int("ring", ring)
+    width = check_positive("width", width)
+    inner = width * (ring - 1)
+    outer = width * ring
+    r = np.sqrt(rng.uniform(inner**2, outer**2, size=n))
+    return r - inner

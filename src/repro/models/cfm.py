@@ -1,0 +1,46 @@
+"""The Collision Free Model channel (paper Sec. 3.2.1).
+
+Under CFM every packet transmission is an atomic, guaranteed-successful
+operation: all neighbors of every transmitter receive, regardless of
+concurrency.  The model deliberately hides contention resolution; its
+cost is carried entirely by the ``(t_f, e_f)`` pair of the
+:class:`~repro.models.costs.CostModel` rather than by lost packets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.channel import Channel, Delivery
+
+__all__ = ["CollisionFreeChannel"]
+
+
+class CollisionFreeChannel(Channel):
+    """Every transmission reaches every neighbor, always.
+
+    When several transmitters share a receiver in one slot, the receiver
+    gets *a* packet from each of them in the model's semantics; since
+    the broadcast protocols only care about the information (identical
+    across senders), the delivery reports the lowest-id sender for
+    determinism.
+    """
+
+    def resolve_slot(self, transmitters: np.ndarray) -> Delivery:
+        tx = np.unique(np.asarray(transmitters, dtype=np.intp))
+        if tx.size == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return Delivery(receivers=empty, senders=empty.copy(), collided=empty.copy())
+        indptr, indices = self.topology.indptr, self.topology.indices
+        n = self.topology.n_nodes
+        # Lowest transmitter id wins ties: scan transmitters in descending
+        # order so earlier (smaller) ids overwrite later ones.
+        sender_of = np.full(n, -1, dtype=np.int64)
+        for t in tx[::-1]:
+            sender_of[indices[indptr[t] : indptr[t + 1]]] = t
+        receivers = np.flatnonzero(sender_of >= 0).astype(np.int64)
+        return Delivery(
+            receivers=receivers,
+            senders=sender_of[receivers],
+            collided=np.zeros(0, dtype=np.int64),
+        )

@@ -1,0 +1,70 @@
+"""The slotted channel abstraction shared by CFM and CAM.
+
+A channel answers one question per slot: *given who transmitted, who
+received what?*  Both engines (the vectorized slot-stepper and the
+object-level DES) delegate that question here, so the collision
+semantics of Sec. 3.2 live in exactly one place per model.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.network.topology import Topology
+
+__all__ = ["Delivery", "Channel"]
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """The outcome of one slot on one channel.
+
+    Attributes
+    ----------
+    receivers:
+        Node ids that successfully received a packet this slot, sorted.
+    senders:
+        ``senders[i]`` is the node whose packet ``receivers[i]`` got.
+        Under CAM this is the unique non-colliding transmitter in range;
+        under CFM, ties are resolved in favor of the lowest transmitter
+        id (CFM applications treat concurrent deliveries as equivalent).
+    collided:
+        Node ids that heard two or more concurrent transmissions and
+        therefore received nothing (empty under CFM).
+    """
+
+    receivers: np.ndarray
+    senders: np.ndarray
+    collided: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.receivers.shape != self.senders.shape:
+            raise ValueError("receivers and senders must align")
+
+
+class Channel(ABC):
+    """Resolves concurrent transmissions into per-receiver deliveries."""
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+
+    @abstractmethod
+    def resolve_slot(self, transmitters: np.ndarray) -> Delivery:
+        """Deliveries resulting from ``transmitters`` all sending in one slot.
+
+        Parameters
+        ----------
+        transmitters:
+            Unique node ids transmitting in this slot.
+
+        Notes
+        -----
+        Transmitting nodes can appear among the receivers: the paper's
+        link model does not impose half-duplex radios, and the
+        analytical framework likewise lets a broadcasting node be
+        counted in its neighbors' contention.  Engines that want
+        half-duplex semantics filter the delivery themselves.
+        """

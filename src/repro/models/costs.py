@@ -1,0 +1,118 @@
+"""Time/energy cost functions and per-node energy accounting.
+
+The abstract network model attaches cost functions to its primitives
+(Fig. 1): ``t_f / e_f`` for a (reliable) CFM transmission and
+``t_a / e_a`` for a (best-effort) CAM transmission, with
+``t_a <= t_f`` and ``e_a <= e_f`` (Sec. 3.2.2).  Assumption 1 makes the
+send and receive costs of a unit packet equal, and assumption 4 makes
+idle time free, so a node's energy is fully determined by how many
+packets it sent and received.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = ["CostModel", "EnergyLedger"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-packet time and energy costs of one transmission primitive.
+
+    Attributes
+    ----------
+    time:
+        Time to send (equivalently, receive) one unit packet.  In the
+        slotted protocols one slot is exactly one packet time.
+    energy:
+        Energy to send one unit packet; by assumption 1 the same energy
+        is spent by each receiver.
+    """
+
+    time: float = 1.0
+    energy: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive("time", self.time)
+        check_positive("energy", self.energy)
+
+    @classmethod
+    def cfm(cls, time: float = 1.0, energy: float = 1.0) -> "CostModel":
+        """The CFM cost pair ``(t_f, e_f)``."""
+        return cls(time=time, energy=energy)
+
+    @classmethod
+    def cam(cls, time: float = 1.0, energy: float = 1.0) -> "CostModel":
+        """The CAM cost pair ``(t_a, e_a)``."""
+        return cls(time=time, energy=energy)
+
+
+class EnergyLedger:
+    """Vectorized per-node energy/traffic accounting (assumption 4).
+
+    Only sending and receiving cost energy; idle radios are off.  The
+    ledger tracks packet counts and converts to energy through a
+    :class:`CostModel` on demand, so one simulation can be re-costed
+    under different hardware parameters without re-running.
+    """
+
+    def __init__(self, n_nodes: int, cost_model: CostModel | None = None):
+        self.n_nodes = check_positive_int("n_nodes", n_nodes)
+        self.cost_model = cost_model or CostModel.cam()
+        self._tx = np.zeros(n_nodes, dtype=np.int64)
+        self._rx = np.zeros(n_nodes, dtype=np.int64)
+
+    def record_tx(self, nodes) -> None:
+        """Record one transmission by each node in ``nodes``."""
+        np.add.at(self._tx, np.asarray(nodes, dtype=np.intp), 1)
+
+    def record_rx(self, nodes) -> None:
+        """Record one successful reception by each node in ``nodes``."""
+        np.add.at(self._rx, np.asarray(nodes, dtype=np.intp), 1)
+
+    @property
+    def tx_counts(self) -> np.ndarray:
+        """Transmissions per node (read-only view)."""
+        v = self._tx.view()
+        v.setflags(write=False)
+        return v
+
+    @property
+    def rx_counts(self) -> np.ndarray:
+        """Successful receptions per node (read-only view)."""
+        v = self._rx.view()
+        v.setflags(write=False)
+        return v
+
+    @property
+    def total_tx(self) -> int:
+        """Network-wide transmission count (the paper's energy metric ``M``)."""
+        return int(self._tx.sum())
+
+    @property
+    def total_rx(self) -> int:
+        """Network-wide successful reception count."""
+        return int(self._rx.sum())
+
+    def node_energy(self, cost_model: CostModel | None = None) -> np.ndarray:
+        """Per-node energy under ``cost_model`` (defaults to the ledger's)."""
+        cm = cost_model or self.cost_model
+        return cm.energy * (self._tx + self._rx).astype(float)
+
+    def total_energy(self, cost_model: CostModel | None = None) -> float:
+        """Network-wide energy under ``cost_model``."""
+        return float(self.node_energy(cost_model).sum())
+
+    def merge(self, other: "EnergyLedger") -> "EnergyLedger":
+        """Sum of two ledgers over the same node population."""
+        if other.n_nodes != self.n_nodes:
+            raise ValueError("cannot merge ledgers of different sizes")
+        out = EnergyLedger(self.n_nodes, self.cost_model)
+        out._tx = self._tx + other._tx
+        out._rx = self._rx + other._rx
+        return out

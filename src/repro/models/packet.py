@@ -1,0 +1,56 @@
+"""Packet records exchanged by the simulated protocols."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+__all__ = ["Packet"]
+
+_packet_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class Packet:
+    """An immutable unit-size packet (assumption 1: unit packet sizes).
+
+    Attributes
+    ----------
+    origin:
+        Node id of the packet's original source (the broadcast root).
+    sender:
+        Node id of the current transmitter (changes as the packet is
+        relayed; relays carry fresh :class:`Packet` instances).
+    kind:
+        Application tag, e.g. ``"broadcast"``; lets multiple protocols
+        share a channel.
+    payload:
+        Opaque application payload (must be hashable for dedup keys).
+    hops:
+        Relay count from the origin (0 for the origin's own broadcast).
+    uid:
+        Globally unique packet instance id (auto-assigned).
+    """
+
+    origin: int
+    sender: int
+    kind: str = "broadcast"
+    payload: Hashable = None
+    hops: int = 0
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+
+    def relayed_by(self, node: int) -> "Packet":
+        """A copy representing this packet re-broadcast by ``node``."""
+        return Packet(
+            origin=self.origin,
+            sender=node,
+            kind=self.kind,
+            payload=self.payload,
+            hops=self.hops + 1,
+        )
+
+    @property
+    def key(self) -> tuple[Any, ...]:
+        """Identity of the *information* carried (stable across relays)."""
+        return (self.origin, self.kind, self.payload)

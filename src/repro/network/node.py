@@ -1,0 +1,64 @@
+"""Per-node state for the object-level (DES) engine.
+
+The vectorized engine keeps node state in flat arrays; the DES engine
+gives each sensor an object so protocol logic reads like the paper's
+prose ("after receiving the information ... broadcasts with probability
+p").  Both views describe the same machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SensorNode"]
+
+
+@dataclass
+class SensorNode:
+    """State machine of one sensor during a broadcast execution.
+
+    Attributes
+    ----------
+    node_id:
+        Index into the deployment / topology arrays.
+    informed_at:
+        Simulation time of first successful reception (``None`` until
+        informed).  The source is informed at time 0.
+    informed_phase:
+        Phase number (1-based) of first reception.
+    relay_decided:
+        Whether the node has already taken its one relay decision
+        (each node broadcasts at most once — Sec. 4).
+    will_relay:
+        Outcome of that decision.
+    relay_slot:
+        Absolute slot index chosen for the relay, when scheduled.
+    duplicate_receptions:
+        Collision-free receptions of the packet *after* the first one
+        (consumed by the counter-based extension protocol).
+    """
+
+    node_id: int
+    informed_at: float | None = None
+    informed_phase: int | None = None
+    relay_decided: bool = False
+    will_relay: bool = False
+    relay_slot: int | None = None
+    duplicate_receptions: int = 0
+    first_sender: int | None = field(default=None)
+    overheard_senders: list[int] = field(default_factory=list)
+
+    @property
+    def informed(self) -> bool:
+        """Whether the node has received the broadcast information."""
+        return self.informed_at is not None
+
+    def mark_informed(self, time: float, phase: int, sender: int | None) -> bool:
+        """Record a successful reception; returns True on *first* reception."""
+        if self.informed:
+            self.duplicate_receptions += 1
+            return False
+        self.informed_at = time
+        self.informed_phase = phase
+        self.first_sender = sender
+        return True

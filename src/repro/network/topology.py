@@ -1,0 +1,233 @@
+"""Unit-disk communication graphs in CSR form.
+
+The communication graph of assumption 2 connects every pair of nodes
+within transmission radius ``r``.  For the vectorized engine we need the
+adjacency as flat CSR arrays (``indptr``/``indices``), and we need to
+build it fast for thousands of Monte-Carlo replications; a grid-bucket
+spatial index with cell size ``r`` reduces candidate pairs to the nine
+surrounding cells, and all distance work happens in per-cell-pair numpy
+blocks rather than per node.
+
+The same machinery builds the ``carrier_radius`` graph of Appendix A on
+demand (neighbors within carrier-sense range but *also* within it —
+the carrier graph includes the transmission graph; CAM code subtracts
+as needed).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+__all__ = ["Topology", "build_disk_graph_csr"]
+
+
+def _grid_cells(positions: np.ndarray, cell: float) -> tuple[np.ndarray, dict]:
+    """Assign each point to a grid cell; return cell keys and an index map."""
+    ij = np.floor(positions / cell).astype(np.int64)
+    ij -= ij.min(axis=0, keepdims=True)
+    width = int(ij[:, 0].max()) + 2 if len(ij) else 1
+    keys = ij[:, 0] + ij[:, 1] * width
+    buckets: dict[int, np.ndarray] = {}
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    bounds = np.flatnonzero(np.diff(sorted_keys)) + 1
+    starts = np.concatenate(([0], bounds))
+    ends = np.concatenate((bounds, [len(keys)]))
+    for s, e in zip(starts, ends):
+        buckets[int(sorted_keys[s])] = order[s:e]
+    return keys, {"buckets": buckets, "width": width}
+
+
+def build_disk_graph_csr(
+    positions: np.ndarray, radius: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """CSR adjacency (``indptr``, ``indices``) of the unit-disk graph.
+
+    Edges connect distinct points at Euclidean distance ``<= radius``;
+    the graph is symmetric and has no self-loops.  Each row's neighbor
+    list is sorted ascending.
+    """
+    positions = np.asarray(positions, dtype=float)
+    if positions.ndim != 2 or positions.shape[1] != 2:
+        raise ValueError(f"positions must be (n, 2), got {positions.shape}")
+    radius = check_positive("radius", radius)
+    n = positions.shape[0]
+    if n == 0:
+        return np.zeros(1, dtype=np.int64), np.zeros(0, dtype=np.int64)
+
+    keys, grid = _grid_cells(positions, radius)
+    buckets: dict[int, np.ndarray] = grid["buckets"]
+    width: int = grid["width"]
+    r2 = radius * radius
+
+    src_parts: list[np.ndarray] = []
+    dst_parts: list[np.ndarray] = []
+    # Scan unordered cell pairs once: (0,0) same-cell plus 4 of the 8
+    # neighbor offsets; symmetry supplies the rest.
+    half_offsets = (0, (1, 0), (0, 1), (1, 1), (-1, 1))
+    for key, members in buckets.items():
+        pos_a = positions[members]
+        for off in half_offsets:
+            if off == 0:
+                # Same cell: strict upper-triangle pairs.
+                d2 = ((pos_a[:, None, :] - pos_a[None, :, :]) ** 2).sum(-1)
+                ii, jj = np.triu_indices(len(members), k=1)
+                hit = d2[ii, jj] <= r2
+                src_parts.append(members[ii[hit]])
+                dst_parts.append(members[jj[hit]])
+                continue
+            nb_key = key + off[0] + off[1] * width
+            other = buckets.get(nb_key)
+            if other is None:
+                continue
+            pos_b = positions[other]
+            d2 = ((pos_a[:, None, :] - pos_b[None, :, :]) ** 2).sum(-1)
+            ii, jj = np.nonzero(d2 <= r2)
+            src_parts.append(members[ii])
+            dst_parts.append(other[jj])
+
+    if src_parts:
+        src = np.concatenate(src_parts)
+        dst = np.concatenate(dst_parts)
+    else:
+        src = np.zeros(0, dtype=np.int64)
+        dst = np.zeros(0, dtype=np.int64)
+    # Symmetrize and build CSR.
+    rows = np.concatenate((src, dst))
+    cols = np.concatenate((dst, src))
+    order = np.lexsort((cols, rows))
+    rows = rows[order]
+    cols = cols[order]
+    counts = np.bincount(rows, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, cols.astype(np.int64)
+
+
+class Topology:
+    """A sensor network's communication structure.
+
+    Wraps the transmission-range CSR adjacency and, lazily, the
+    carrier-sense-range adjacency (Appendix A).  Immutable once built.
+
+    Parameters
+    ----------
+    positions:
+        ``(n, 2)`` node coordinates.
+    radius:
+        Transmission radius ``r``.
+    carrier_radius:
+        Carrier-sense radius; defaults to ``2 * radius`` when the
+        carrier graph is first requested.
+    """
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        radius: float,
+        *,
+        carrier_radius: float | None = None,
+    ):
+        self.positions = np.array(positions, dtype=float)
+        self.positions.setflags(write=False)
+        self.radius = check_positive("radius", radius)
+        if carrier_radius is not None and carrier_radius < radius:
+            raise ValueError("carrier_radius must be >= radius")
+        self._carrier_radius = carrier_radius
+        self.indptr, self.indices = build_disk_graph_csr(self.positions, radius)
+        self._carrier_csr: tuple[np.ndarray, np.ndarray] | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes (including the source)."""
+        return self.positions.shape[0]
+
+    @property
+    def n_edges(self) -> int:
+        """Number of undirected communication links."""
+        return int(len(self.indices) // 2)
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Neighbor count per node."""
+        return np.diff(self.indptr)
+
+    @property
+    def mean_degree(self) -> float:
+        """Average neighbor count (the empirical counterpart of ``rho``)."""
+        return float(self.degrees.mean()) if self.n_nodes else 0.0
+
+    @property
+    def carrier_radius(self) -> float:
+        """Carrier-sense radius in effect (default ``2 r``)."""
+        return self._carrier_radius if self._carrier_radius is not None else 2.0 * self.radius
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Neighbor ids of ``node`` (sorted, read-only view)."""
+        view = self.indices[self.indptr[node] : self.indptr[node + 1]]
+        return view
+
+    def iter_edges(self) -> Iterator[tuple[int, int]]:
+        """Undirected edges as ``(u, v)`` with ``u < v``."""
+        for u in range(self.n_nodes):
+            for v in self.neighbors(u):
+                if u < int(v):
+                    yield u, int(v)
+
+    def carrier_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """CSR adjacency at carrier-sense radius (built lazily, cached)."""
+        if self._carrier_csr is None:
+            self._carrier_csr = build_disk_graph_csr(self.positions, self.carrier_radius)
+        return self._carrier_csr
+
+    # ------------------------------------------------------------------
+    def is_connected(self) -> bool:
+        """Whether the transmission graph is a single connected component."""
+        n = self.n_nodes
+        if n == 0:
+            return True
+        seen = np.zeros(n, dtype=bool)
+        stack = [0]
+        seen[0] = True
+        while stack:
+            u = stack.pop()
+            for v in self.neighbors(u):
+                if not seen[v]:
+                    seen[v] = True
+                    stack.append(int(v))
+        return bool(seen.all())
+
+    def reachable_from(self, node: int) -> np.ndarray:
+        """Boolean mask of nodes reachable from ``node`` in the graph."""
+        n = self.n_nodes
+        seen = np.zeros(n, dtype=bool)
+        stack = [node]
+        seen[node] = True
+        while stack:
+            u = stack.pop()
+            for v in self.neighbors(u):
+                if not seen[v]:
+                    seen[v] = True
+                    stack.append(int(v))
+        return seen
+
+    def to_networkx(self):
+        """Export to a :class:`networkx.Graph` with ``pos`` node attributes."""
+        import networkx as nx
+
+        g = nx.Graph()
+        for i in range(self.n_nodes):
+            g.add_node(i, pos=tuple(self.positions[i]))
+        g.add_edges_from(self.iter_edges())
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Topology(n={self.n_nodes}, edges={self.n_edges}, "
+            f"r={self.radius}, mean_degree={self.mean_degree:.1f})"
+        )

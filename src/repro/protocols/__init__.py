@@ -1,0 +1,32 @@
+"""Broadcast relay protocols.
+
+The paper studies two schemes (Sec. 4): *simple flooding* and
+*probability-based broadcast* with the phase/slot backoff of Sec. 4.2
+(PB_CAM when run over a CAM channel).  Following the Williams et al.
+taxonomy the paper cites — and names as future analytical work — this
+package also implements the other two scheme families as extensions:
+an *area-based* (distance threshold) scheme and a *neighbor-knowledge*
+scheme, plus the counter-based variant commonly grouped with them.
+
+All protocols are expressed as :class:`~repro.protocols.base.RelayPolicy`
+strategies consumed by both simulation engines.
+"""
+
+from repro.protocols.base import EngineContext, RelayPolicy
+from repro.protocols.pbcast import ProbabilisticRelay, SimpleFlooding
+from repro.protocols.counter import CounterBasedRelay
+from repro.protocols.area import DistanceBasedRelay
+from repro.protocols.neighbor import NeighborKnowledgeRelay
+from repro.protocols.convergecast import ConvergecastResult, run_convergecast
+
+__all__ = [
+    "EngineContext",
+    "RelayPolicy",
+    "ProbabilisticRelay",
+    "SimpleFlooding",
+    "CounterBasedRelay",
+    "DistanceBasedRelay",
+    "NeighborKnowledgeRelay",
+    "ConvergecastResult",
+    "run_convergecast",
+]

@@ -1,0 +1,35 @@
+"""Slot-level simulation of broadcast protocols over CFM/CAM.
+
+Two engines implement the same semantics:
+
+* :func:`repro.sim.engine.run_broadcast` — a vectorized slot-synchronous
+  engine (flat numpy state, CSR adjacency kernels); the workhorse for
+  the paper's Monte-Carlo sweeps (Figs. 8–11).
+* :class:`repro.sim.desimpl.DesBroadcastSimulation` — an object-level
+  engine on the :mod:`repro.des` kernel with continuous-time collision
+  detection; slower, but supports *unaligned* slots (the paper's
+  protocols do not require synchronization; its analysis assumes it)
+  and serves as an independent cross-check of the fast engine.
+
+:mod:`repro.sim.runner` replicates runs over seeds/processes and
+aggregates results with confidence intervals.
+"""
+
+from repro.sim.config import SimulationConfig
+from repro.sim.results import AggregateResult, RunResult, aggregate_metric
+from repro.sim.engine import run_broadcast
+from repro.sim.desimpl import DesBroadcastSimulation
+from repro.sim.reliable import ReliableFloodingSimulation
+from repro.sim.runner import replicate, simulate_pb
+
+__all__ = [
+    "SimulationConfig",
+    "RunResult",
+    "AggregateResult",
+    "aggregate_metric",
+    "run_broadcast",
+    "DesBroadcastSimulation",
+    "ReliableFloodingSimulation",
+    "replicate",
+    "simulate_pb",
+]

@@ -1,0 +1,81 @@
+"""Configuration of one simulated broadcast scenario."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.analysis.config import AnalysisConfig
+from repro.utils.validation import check_in, check_positive_int
+
+__all__ = ["SimulationConfig"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Parameters of a simulated broadcast execution.
+
+    Wraps the shared :class:`~repro.analysis.config.AnalysisConfig`
+    (geometry, density, slots) with simulation-only choices.
+
+    Parameters
+    ----------
+    analysis:
+        Field geometry and density (``P``, ``rho``, ``s``, ``r``).
+    channel:
+        ``"cam"`` (the paper's Sec. 5 setting) or ``"cfm"``.
+    carrier_sense:
+        Collide on the carrier-sense radius too (Appendix A).
+    half_duplex:
+        If true, a node transmitting in a slot cannot receive in it.
+        The analysis ignores half-duplex, so the default is off; the
+        ablation benchmark measures its effect.
+    population:
+        ``"fixed"`` (exactly ``round(rho P^2)`` nodes, the paper's
+        setting) or ``"poisson"``.
+    max_phases:
+        Hard stop for the execution (the protocols terminate on their
+        own long before this at sane parameters).
+    """
+
+    analysis: AnalysisConfig = field(default_factory=AnalysisConfig)
+    channel: str = "cam"
+    carrier_sense: bool = False
+    half_duplex: bool = False
+    population: str = "fixed"
+    max_phases: int = 200
+
+    def __post_init__(self) -> None:
+        check_in("channel", self.channel, ("cam", "cfm"))
+        check_in("population", self.population, ("fixed", "poisson"))
+        check_positive_int("max_phases", self.max_phases)
+        if self.channel == "cfm" and self.carrier_sense:
+            raise ValueError("carrier_sense is meaningless under CFM")
+
+    # convenience passthroughs -----------------------------------------
+    @property
+    def rho(self) -> float:
+        """Target neighbor density."""
+        return self.analysis.rho
+
+    @property
+    def n_rings(self) -> int:
+        """Field rings ``P``."""
+        return self.analysis.n_rings
+
+    @property
+    def slots(self) -> int:
+        """Slots per phase ``s``."""
+        return self.analysis.slots
+
+    @property
+    def radius(self) -> float:
+        """Transmission radius ``r``."""
+        return self.analysis.radius
+
+    def with_rho(self, rho: float) -> "SimulationConfig":
+        """A copy at a different density."""
+        return replace(self, analysis=self.analysis.with_rho(rho))
+
+    def with_(self, **changes) -> "SimulationConfig":
+        """A copy with simulation-level fields replaced."""
+        return replace(self, **changes)

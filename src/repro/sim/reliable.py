@@ -1,0 +1,133 @@
+"""Reliable (CFM-style) flooding implemented over the CAM substrate.
+
+Sec. 3.2.1 of the paper describes the naive CFM implementation on
+CSMA/CA hardware: "require acknowledgment from all receivers of each
+broadcasting and re-transmit the packet if timeout occurs", warning
+that it costs significant traffic.  This module implements that
+behavior in the DES engine so the refined cost model of
+:mod:`repro.analysis.refined` can be validated by measurement:
+
+* every informed node retransmits the packet in a random slot of each
+  successive phase until **all** of its in-range neighbors hold the
+  packet (or a retry cap is hit);
+* acknowledgments are modeled as out-of-band and perfectly reliable —
+  the node simply knows which neighbors are covered — but their cost is
+  *accounted*: every (re)transmission is charged one ACK packet per
+  already-informed neighbor, the traffic the paper warns about.
+
+The interesting measured quantity is transmissions-per-node, to compare
+against ``DensityAwareCostModel.expected_attempts``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.packet import Packet
+from repro.network.deployment import DiskDeployment
+from repro.protocols.pbcast import SimpleFlooding
+from repro.sim.config import SimulationConfig
+from repro.sim.desimpl import SLOT_LEN, _START_PRIORITY, DesBroadcastSimulation
+from repro.sim.results import RunResult
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_positive_int
+
+__all__ = ["ReliableFloodingSimulation"]
+
+
+class ReliableFloodingSimulation(DesBroadcastSimulation):
+    """Retransmit-until-neighborhood-covered flooding under CAM.
+
+    Parameters
+    ----------
+    config, seed, deployment:
+        As for :class:`~repro.sim.desimpl.DesBroadcastSimulation`.
+    max_attempts:
+        Retry cap per node (including the first transmission).  In
+        saturated neighborhoods retransmissions keep contending; the cap
+        bounds the run and is itself a measurable failure signal
+        (``capped_nodes``).
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        seed: SeedLike,
+        *,
+        deployment: DiskDeployment | None = None,
+        max_attempts: int = 64,
+    ):
+        super().__init__(SimpleFlooding(), config, seed, deployment=deployment)
+        self.max_attempts = check_positive_int("max_attempts", max_attempts)
+        self._attempts = np.zeros(self.topology.n_nodes, dtype=np.int64)
+        self._informed = np.zeros(self.topology.n_nodes, dtype=bool)
+        self._informed[self.deployment.source] = True
+        self.ack_packets = 0
+
+    # ------------------------------------------------------------------
+    def _uncovered(self, node: int) -> bool:
+        nbrs = self.topology.neighbors(node)
+        return not bool(self._informed[nbrs].all()) if len(nbrs) else False
+
+    def _schedule_retry(self, node: int, packet: Packet) -> None:
+        if self._attempts[node] >= self.max_attempts or not self._uncovered(node):
+            return
+        now = self.sim.now
+        slots = self.config.slots
+        phase = int(now // (slots * SLOT_LEN))
+        start = (phase + 1) * slots * SLOT_LEN + int(
+            self.rng.integers(0, slots)
+        ) * SLOT_LEN
+        self.sim.schedule_at(
+            start, self._begin_tx, node, packet, priority=_START_PRIORITY
+        )
+
+    def _begin_tx(self, sender: int, packet: Packet) -> None:
+        # A retry scheduled before coverage completed may be stale now.
+        if self._attempts[sender] > 0 and not self._uncovered(sender):
+            return
+        self._attempts[sender] += 1
+        # ACK traffic: every already-informed neighbor acknowledges.
+        self.ack_packets += int(
+            self._informed[self.topology.neighbors(sender)].sum()
+        )
+        super()._begin_tx(sender, packet)
+
+    def _end_tx(self, sender: int, packet: Packet) -> None:
+        super()._end_tx(sender, packet)
+        self._schedule_retry(sender, packet)
+
+    def _deliver(self, receiver: int, packet: Packet) -> None:
+        first = not self._informed[receiver]
+        self._informed[receiver] = True
+        super()._deliver(receiver, packet)
+        if first:
+            # SimpleFlooding scheduled the first transmission; retries
+            # chain from _end_tx.
+            pass
+
+    # ------------------------------------------------------------------
+    @property
+    def attempts_per_node(self) -> np.ndarray:
+        """Transmissions performed by each node (0 for never-informed)."""
+        v = self._attempts.view()
+        v.setflags(write=False)
+        return v
+
+    @property
+    def capped_nodes(self) -> int:
+        """Nodes that hit the retry cap with neighbors still uncovered."""
+        capped = 0
+        for node in range(self.topology.n_nodes):
+            if self._attempts[node] >= self.max_attempts and self._uncovered(node):
+                capped += 1
+        return capped
+
+    def mean_attempts(self) -> float:
+        """Average transmissions over nodes that transmitted at least once."""
+        active = self._attempts[self._attempts > 0]
+        return float(active.mean()) if len(active) else 0.0
+
+    def run(self) -> RunResult:
+        result = super().run()
+        return result

@@ -1,0 +1,28 @@
+"""Shared infrastructure: validation, RNG streams, parallelism, quadrature, reports."""
+
+from repro.utils.validation import (
+    check_fraction,
+    check_in,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+from repro.utils.rng import RngFactory, as_seed_sequence, spawn_rngs
+from repro.utils.parallel import parallel_map
+from repro.utils.quadrature import GaussLegendreRule
+from repro.utils.tables import format_series, format_table
+
+__all__ = [
+    "check_fraction",
+    "check_in",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+    "RngFactory",
+    "as_seed_sequence",
+    "spawn_rngs",
+    "parallel_map",
+    "GaussLegendreRule",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,88 @@
+"""Plain-text rendering of result tables and series.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers keep that output aligned and diffable.  Rendering is
+deliberately dependency-free (no rich/tabulate) so it works in any
+offline environment.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_series", "format_mapping"]
+
+
+def _fmt_cell(value: object, precision: int) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, (float, np.floating)):
+        if np.isnan(value):
+            return "-"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    precision: int = 4,
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    ``None`` and ``NaN`` cells render as ``-`` (the paper omits points
+    where a constraint is infeasible, e.g. Fig. 5a for tiny ``p``).
+    """
+    str_rows = [[_fmt_cell(c, precision) for c in row] for row in rows]
+    cols = [list(col) for col in zip(*([list(headers)] + str_rows))] if str_rows else [
+        [h] for h in headers
+    ]
+    widths = [max(len(cell) for cell in col) for col in cols]
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(w) for cell, w in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)
+
+
+def format_series(
+    x_name: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[object]],
+    *,
+    precision: int = 4,
+    title: str | None = None,
+) -> str:
+    """Render one x-column against several named y-series (a 'figure' as text)."""
+    headers = [x_name] + list(series)
+    columns = [list(x_values)] + [list(v) for v in series.values()]
+    n = len(columns[0])
+    for name, col in zip(headers, columns):
+        if len(col) != n:
+            raise ValueError(f"series {name!r} has {len(col)} points, expected {n}")
+    rows = list(zip(*columns))
+    return format_table(headers, rows, precision=precision, title=title)
+
+
+def format_mapping(
+    items: Mapping[str, object], *, precision: int = 4, title: str | None = None
+) -> str:
+    """Render a flat key/value mapping, one aligned row per entry."""
+    return format_table(
+        ["key", "value"],
+        [(k, v) for k, v in items.items()],
+        precision=precision,
+        title=title,
+    )

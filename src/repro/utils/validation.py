@@ -1,0 +1,91 @@
+"""Argument validation helpers.
+
+All checks raise :class:`repro.errors.ConfigurationError` with a message
+that names the offending parameter, so misuse surfaces at the public API
+boundary rather than as a cryptic numpy failure deep in a recursion.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+    "check_fraction",
+    "check_in",
+]
+
+
+def _fail(name: str, value: Any, expectation: str) -> None:
+    raise ConfigurationError(f"{name}={value!r} is invalid: expected {expectation}")
+
+
+def check_positive(name: str, value: float, *, allow_zero: bool = False) -> float:
+    """Validate that ``value`` is a finite positive real number.
+
+    Returns the value as a ``float`` so callers can validate-and-coerce
+    in one step.
+    """
+    try:
+        out = float(value)
+    except (TypeError, ValueError):
+        _fail(name, value, "a real number")
+    if math.isnan(out) or math.isinf(out):
+        _fail(name, value, "a finite number")
+    if allow_zero:
+        if out < 0:
+            _fail(name, value, "a non-negative number")
+    elif out <= 0:
+        _fail(name, value, "a strictly positive number")
+    return out
+
+
+def check_positive_int(name: str, value: int, *, minimum: int = 1) -> int:
+    """Validate that ``value`` is an integer ``>= minimum``."""
+    if isinstance(value, bool):
+        # bool is an int subclass with __index__; reject it explicitly so
+        # `slots=True` style mistakes fail loudly instead of meaning 1.
+        _fail(name, value, f"an integer >= {minimum}")
+    if not isinstance(value, int):
+        # numpy integer types pass through __index__
+        try:
+            value = int(value.__index__())  # type: ignore[union-attr]
+        except (AttributeError, TypeError):
+            _fail(name, value, f"an integer >= {minimum}")
+    out = int(value)
+    if out < minimum:
+        _fail(name, value, f"an integer >= {minimum}")
+    return out
+
+
+def check_probability(name: str, value: float, *, allow_zero: bool = True) -> float:
+    """Validate a probability in ``[0, 1]`` (or ``(0, 1]`` if zero disallowed)."""
+    out = check_positive(name, value, allow_zero=allow_zero)
+    if out > 1.0:
+        _fail(name, value, "a probability in [0, 1]")
+    return out
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Validate a strictly interior fraction in ``(0, 1)``.
+
+    Used for reachability targets: a target of exactly 1.0 is never
+    attainable under CAM with finite phases, and 0.0 is vacuous.
+    """
+    out = check_positive(name, value, allow_zero=False)
+    if out >= 1.0:
+        _fail(name, value, "a fraction strictly inside (0, 1)")
+    return out
+
+
+def check_in(name: str, value: Any, options: Iterable[Any]) -> Any:
+    """Validate membership in an explicit option set."""
+    opts = tuple(options)
+    if value not in opts:
+        _fail(name, value, f"one of {opts!r}")
+    return value

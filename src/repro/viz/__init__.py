@@ -1,0 +1,12 @@
+"""Terminal visualization: sparklines, line charts, field maps, heatmaps.
+
+Plots render to plain strings (unicode block characters), so results
+can be inspected in any terminal or log file — this library targets
+offline/cluster environments where matplotlib may be unavailable.
+"""
+
+from repro.viz.charts import line_chart, sparkline
+from repro.viz.field import field_map
+from repro.viz.heatmap import wave_heatmap
+
+__all__ = ["sparkline", "line_chart", "field_map", "wave_heatmap"]

@@ -1,0 +1,118 @@
+"""Sparklines and multi-series ASCII line charts."""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+__all__ = ["sparkline", "line_chart"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+_SERIES_MARKS = "ox+*#@%&"
+
+
+def sparkline(values: Sequence[float], *, lo: float | None = None, hi: float | None = None) -> str:
+    """One-line unicode sparkline of a numeric series.
+
+    NaNs render as spaces; a constant series renders at mid height.
+    ``lo``/``hi`` pin the scale (useful when aligning several lines).
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return ""
+    finite = arr[np.isfinite(arr)]
+    if finite.size == 0:
+        return " " * arr.size
+    vmin = float(finite.min()) if lo is None else lo
+    vmax = float(finite.max()) if hi is None else hi
+    span = vmax - vmin
+    out = []
+    for v in arr:
+        if not math.isfinite(v):
+            out.append(" ")
+            continue
+        if span <= 0:
+            out.append(_SPARK_LEVELS[len(_SPARK_LEVELS) // 2])
+            continue
+        frac = min(max((v - vmin) / span, 0.0), 1.0)
+        out.append(_SPARK_LEVELS[int(round(frac * (len(_SPARK_LEVELS) - 1)))])
+    return "".join(out)
+
+
+def line_chart(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    title: str | None = None,
+    y_label: str = "",
+) -> str:
+    """Render named series against ``x`` as an ASCII scatter chart.
+
+    Each series gets a marker character (legend below the plot); NaN
+    points are skipped, matching how infeasible grid points appear as
+    gaps in the paper's figures.
+    """
+    width = check_positive_int("width", width, minimum=8)
+    height = check_positive_int("height", height, minimum=4)
+    xs = np.asarray(list(x), dtype=float)
+    if xs.size == 0 or not series:
+        raise ValueError("need at least one x value and one series")
+
+    all_y = np.concatenate([np.asarray(list(v), dtype=float) for v in series.values()])
+    finite = all_y[np.isfinite(all_y)]
+    if finite.size == 0:
+        raise ValueError("all series values are NaN")
+    ymin, ymax = float(finite.min()), float(finite.max())
+    if ymax <= ymin:
+        ymax = ymin + 1.0
+    xmin, xmax = float(xs.min()), float(xs.max())
+    if xmax <= xmin:
+        xmax = xmin + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, values) in enumerate(series.items()):
+        mark = _SERIES_MARKS[idx % len(_SERIES_MARKS)]
+        ys = np.asarray(list(values), dtype=float)
+        if ys.shape != xs.shape:
+            raise ValueError(f"series {name!r} length {ys.size} != x length {xs.size}")
+        for xv, yv in zip(xs, ys):
+            if not math.isfinite(yv):
+                continue
+            col = int(round((xv - xmin) / (xmax - xmin) * (width - 1)))
+            row = int(round((1.0 - (yv - ymin) / (ymax - ymin)) * (height - 1)))
+            grid[row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{ymax:.4g}"
+    bottom_label = f"{ymin:.4g}"
+    label_w = max(len(top_label), len(bottom_label), len(y_label))
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = top_label
+        elif r == height - 1:
+            label = bottom_label
+        elif r == height // 2 and y_label:
+            label = y_label
+        else:
+            label = ""
+        lines.append(f"{label.rjust(label_w)} |{''.join(row)}")
+    axis = " " * label_w + " +" + "-" * width
+    lines.append(axis)
+    x_left = f"{xmin:.4g}"
+    x_right = f"{xmax:.4g}"
+    pad = width - len(x_left) - len(x_right)
+    lines.append(" " * (label_w + 2) + x_left + " " * max(pad, 1) + x_right)
+    legend = "   ".join(
+        f"{_SERIES_MARKS[i % len(_SERIES_MARKS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * (label_w + 2) + legend)
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Render a deployment's sensor field as a character map."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+__all__ = ["field_map"]
+
+
+def field_map(
+    deployment,
+    informed: np.ndarray | None = None,
+    *,
+    width: int = 61,
+    legend: bool = True,
+) -> str:
+    """Draw the field: source ``S``, informed ``#``, uninformed ``.``.
+
+    Parameters
+    ----------
+    deployment:
+        Any deployment with ``positions``, ``source`` and
+        ``field_radius`` (disk or grid).
+    informed:
+        Optional boolean mask over nodes; without it every node draws
+        as ``.``.  Cells holding several nodes show the 'most informed'
+        glyph (S > # > .).
+    width:
+        Character columns; rows are halved to compensate for terminal
+        cell aspect ratio.
+    """
+    width = check_positive_int("width", width, minimum=11)
+    height = max(width // 2, 5)
+    pos = np.asarray(deployment.positions, dtype=float)
+    r = float(deployment.field_radius)
+    if informed is not None:
+        informed = np.asarray(informed, dtype=bool)
+        if informed.shape != (pos.shape[0],):
+            raise ValueError("informed mask must have one entry per node")
+
+    grid = [[" "] * width for _ in range(height)]
+    rank = np.zeros((height, width), dtype=int)  # 0 empty, 1 '.', 2 '#', 3 'S'
+    for i, (x, y) in enumerate(pos):
+        col = int(round((x + r) / (2 * r) * (width - 1)))
+        row = int(round((1.0 - (y + r) / (2 * r)) * (height - 1)))
+        col = min(max(col, 0), width - 1)
+        row = min(max(row, 0), height - 1)
+        if i == deployment.source:
+            level = 3
+        elif informed is not None and informed[i]:
+            level = 2
+        else:
+            level = 1
+        if level > rank[row][col]:
+            rank[row][col] = level
+            grid[row][col] = {1: ".", 2: "#", 3: "S"}[level]
+
+    lines = ["".join(row) for row in grid]
+    if legend:
+        counted = (
+            f"S source, # informed ({int(informed.sum())})"
+            if informed is not None
+            else "S source"
+        )
+        lines.append(f"[{counted}, . node; field radius {r:g}]")
+    return "\n".join(lines)

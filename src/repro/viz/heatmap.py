@@ -1,0 +1,47 @@
+"""Ring-by-phase heatmap of a broadcast trace."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.trace import BroadcastTrace
+
+__all__ = ["wave_heatmap"]
+
+_SHADES = " ░▒▓█"
+
+
+def wave_heatmap(trace: BroadcastTrace, *, normalize: str = "ring") -> str:
+    """Visualize the broadcast wave: rows = rings, columns = phases.
+
+    Cell intensity is the expected newly informed count, normalized
+    per ring (``normalize="ring"``, default — shows *when* each ring
+    fills, the wavefront) or globally (``normalize="global"`` — shows
+    *where* the mass is).
+    """
+    if normalize not in ("ring", "global"):
+        raise ValueError(f"unknown normalize mode {normalize!r}")
+    data = trace.new_by_phase_ring.T  # (rings, phases)
+    n_rings, phases = data.shape
+    if normalize == "ring":
+        denom = data.max(axis=1, keepdims=True)
+    else:
+        denom = np.full((n_rings, 1), data.max())
+    denom = np.where(denom > 0, denom, 1.0)
+    scaled = data / denom
+
+    lines = [
+        f"broadcast wave (p={trace.p:g}, rho={trace.config.rho:g}): "
+        f"rows=rings 1..{n_rings}, cols=phases 1..{phases}"
+    ]
+    for j in range(n_rings):
+        cells = "".join(
+            _SHADES[min(int(v * (len(_SHADES) - 1) + 0.999), len(_SHADES) - 1)]
+            if v > 0
+            else _SHADES[0]
+            for v in scaled[j]
+        )
+        lines.append(f"ring {j + 1} |{cells}|")
+    reach = trace.final_reachability
+    lines.append(f"reachability {reach:.3f}, broadcasts {trace.broadcasts_total:.1f}")
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.config import AnalysisConfig
+from repro.experiments.params import ExperimentScale
+from repro.network.deployment import DiskDeployment
+from repro.sim.config import SimulationConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(123456789)
+
+
+@pytest.fixture
+def small_config() -> AnalysisConfig:
+    """A small, fast analytical configuration."""
+    return AnalysisConfig(n_rings=3, rho=20.0, slots=3, quad_nodes=32)
+
+
+@pytest.fixture
+def paper_config() -> AnalysisConfig:
+    """The paper's configuration at a mid-range density."""
+    return AnalysisConfig(n_rings=5, rho=60.0, slots=3)
+
+
+@pytest.fixture
+def small_sim_config(small_config) -> SimulationConfig:
+    """A small simulation scenario (couple hundred nodes)."""
+    return SimulationConfig(analysis=small_config)
+
+
+@pytest.fixture
+def small_deployment(rng) -> DiskDeployment:
+    """One sampled deployment shared within a test."""
+    return DiskDeployment.sample(rho=20.0, n_rings=3, rng=rng)
+
+
+@pytest.fixture
+def tiny_scale() -> ExperimentScale:
+    """A minimal experiment scale for figure-generation tests."""
+    return ExperimentScale(
+        name="tiny",
+        rho_grid=(20, 60),
+        analysis_p_step=0.1,
+        sim_p_step=0.25,
+        replications=3,
+        seed=7,
+        workers=1,
+    )

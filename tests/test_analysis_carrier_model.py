@@ -1,0 +1,83 @@
+"""Appendix A: the carrier-sense ring model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.carrier_model import CarrierRingModel
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.ring_model import RingModel
+
+
+@pytest.fixture
+def cfg():
+    return AnalysisConfig(n_rings=4, rho=30.0, quad_nodes=48)
+
+
+class TestReductions:
+    def test_unit_carrier_factor_recovers_base_model(self, cfg):
+        """carrier_factor=1 empties the B annulus, so mu'(g, 0, s) = mu(g, s)."""
+        base = RingModel(cfg).run(0.3, max_phases=6)
+        carrier = CarrierRingModel(cfg.with_(carrier_factor=1.0)).run(
+            0.3, max_phases=6
+        )
+        n = min(base.phases, carrier.phases)
+        np.testing.assert_allclose(
+            base.new_by_phase_ring[:n],
+            carrier.new_by_phase_ring[:n],
+            rtol=1e-6,
+            atol=1e-8,
+        )
+
+    def test_p_zero_identical(self, cfg):
+        a = RingModel(cfg).run(0.0)
+        b = CarrierRingModel(cfg).run(0.0)
+        assert b.informed_total == pytest.approx(a.informed_total)
+
+
+class TestCarrierEffect:
+    def test_carrier_sensing_reduces_reachability(self, cfg):
+        """Extra collisions can only slow the wave at matched (p, horizon)."""
+        base = RingModel(cfg).run(0.4, max_phases=5).reachability_after(5)
+        cs = CarrierRingModel(cfg).run(0.4, max_phases=5).reachability_after(5)
+        assert cs < base
+
+    def test_wider_carrier_hurts_more(self, cfg):
+        r2 = CarrierRingModel(cfg.with_(carrier_factor=2.0)).run(
+            0.4, max_phases=5
+        ).reachability_after(5)
+        r3 = CarrierRingModel(cfg.with_(carrier_factor=3.0)).run(
+            0.4, max_phases=5
+        ).reachability_after(5)
+        assert r3 <= r2 + 1e-9
+
+    def test_carrier_neighbors_magnitude(self, cfg):
+        """With a full-density previous phase, h(x) ≈ rho * (c^2 - 1) interior."""
+        model = CarrierRingModel(cfg)
+        full = cfg.delta * model.partition.ring_areas
+        h = model.carrier_neighbors(3, full)
+        # Ring 3 of 4: part of the 2r disk leaves the field, so <= 3 rho.
+        assert np.all(h <= 3.0 * cfg.rho + 1e-9)
+        assert h.max() > 1.5 * cfg.rho  # but a sizable annulus is inside
+
+
+class TestInvariants:
+    def test_conservation(self, cfg):
+        trace = CarrierRingModel(cfg).run(0.5, max_phases=60)
+        assert trace.informed_total <= cfg.n_nodes * (1 + 1e-9)
+
+    def test_arrivals_nonnegative(self, cfg):
+        trace = CarrierRingModel(cfg).run(0.5, max_phases=30)
+        assert np.all(trace.new_by_phase_ring >= -1e-12)
+
+    def test_optimal_p_lower_than_base(self):
+        """More collision surface favors a smaller broadcast probability."""
+        cfg = AnalysisConfig(n_rings=4, rho=60, quad_nodes=48)
+        grid = np.arange(0.02, 1.001, 0.04)
+        base_vals = []
+        cs_vals = []
+        base = RingModel(cfg)
+        cs = CarrierRingModel(cfg)
+        for p in grid:
+            base_vals.append(base.run(p, max_phases=5).reachability_after(5))
+            cs_vals.append(cs.run(p, max_phases=5).reachability_after(5))
+        assert grid[int(np.argmax(cs_vals))] <= grid[int(np.argmax(base_vals))]

@@ -1,0 +1,76 @@
+"""AnalysisConfig: validation and derived quantities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.config import AnalysisConfig
+from repro.errors import ConfigurationError
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        cfg = AnalysisConfig()
+        assert cfg.n_rings == 5 and cfg.slots == 3
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_rings": 0},
+            {"rho": 0.0},
+            {"rho": -5.0},
+            {"slots": 0},
+            {"radius": 0.0},
+            {"quad_nodes": 1},
+            {"mu_method": "bogus"},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            AnalysisConfig(**kwargs)
+
+    def test_rejects_sub_unit_carrier_factor(self):
+        with pytest.raises(ValueError):
+            AnalysisConfig(carrier_factor=0.5)
+
+    def test_frozen(self):
+        cfg = AnalysisConfig()
+        with pytest.raises(AttributeError):
+            cfg.rho = 10.0
+
+
+class TestDerived:
+    def test_delta(self):
+        cfg = AnalysisConfig(rho=np.pi, radius=1.0)
+        assert cfg.delta == pytest.approx(1.0)
+
+    def test_n_nodes_rho_p_squared(self):
+        cfg = AnalysisConfig(n_rings=5, rho=60)
+        assert cfg.n_nodes == pytest.approx(60 * 25)
+
+    def test_field_radius(self):
+        assert AnalysisConfig(n_rings=4, radius=2.0).field_radius == 8.0
+
+    def test_carrier_radius(self):
+        assert AnalysisConfig(radius=1.5, carrier_factor=2.0).carrier_radius == 3.0
+
+    def test_n_nodes_scale_free_in_radius(self):
+        # rho already folds in the radius, so N must not depend on r.
+        a = AnalysisConfig(rho=60, radius=1.0).n_nodes
+        b = AnalysisConfig(rho=60, radius=7.0).n_nodes
+        assert a == b
+
+
+class TestCopies:
+    def test_with_rho(self):
+        cfg = AnalysisConfig(rho=20)
+        cfg2 = cfg.with_rho(80)
+        assert cfg2.rho == 80 and cfg.rho == 20
+        assert cfg2.n_rings == cfg.n_rings
+
+    def test_with_fields(self):
+        cfg = AnalysisConfig().with_(slots=5, quad_nodes=48)
+        assert cfg.slots == 5 and cfg.quad_nodes == 48
+
+    def test_with_validates(self):
+        with pytest.raises(ConfigurationError):
+            AnalysisConfig().with_(slots=0)

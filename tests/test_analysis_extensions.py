@@ -1,0 +1,111 @@
+"""Surrogate (effective-probability) models of the suppression schemes."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.extensions import (
+    distance_effective_probability,
+    measured_relay_fraction,
+    surrogate_model,
+)
+from repro.protocols import (
+    CounterBasedRelay,
+    DistanceBasedRelay,
+    NeighborKnowledgeRelay,
+    ProbabilisticRelay,
+    SimpleFlooding,
+)
+from repro.sim.config import SimulationConfig
+
+
+@pytest.fixture
+def cfg():
+    return AnalysisConfig(n_rings=4, rho=40, quad_nodes=48)
+
+
+class TestClosedForm:
+    def test_annulus_fraction(self):
+        assert distance_effective_probability(0.0) == 1.0
+        assert distance_effective_probability(1.0) == 0.0
+        assert distance_effective_probability(0.5) == pytest.approx(0.75)
+
+    def test_extra_thinning(self):
+        assert distance_effective_probability(0.5, p=0.4) == pytest.approx(0.3)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(Exception):
+            distance_effective_probability(1.5)
+
+
+class TestMeasuredFraction:
+    def test_pb_recovers_its_own_p(self, cfg):
+        sim = SimulationConfig(analysis=cfg)
+        frac = measured_relay_fraction(
+            ProbabilisticRelay(0.3), sim, 5, replications=6
+        )
+        assert frac == pytest.approx(0.3, abs=0.04)
+
+    def test_flooding_is_one(self, cfg):
+        sim = SimulationConfig(analysis=cfg)
+        frac = measured_relay_fraction(SimpleFlooding(), sim, 5, replications=3)
+        assert frac == pytest.approx(1.0, abs=1e-9)
+
+    def test_distance_fraction_at_least_annulus(self, cfg):
+        """Wavefront informers arrive biased toward maximum range, so the
+        measured relay fraction exceeds the area-uniform closed form."""
+        sim = SimulationConfig(analysis=cfg)
+        frac = measured_relay_fraction(
+            DistanceBasedRelay(0.6), sim, 5, replications=6
+        )
+        assert frac >= distance_effective_probability(0.6) - 0.02
+
+    def test_deterministic(self, cfg):
+        sim = SimulationConfig(analysis=cfg)
+        a = measured_relay_fraction(CounterBasedRelay(2), sim, 9, replications=3)
+        b = measured_relay_fraction(CounterBasedRelay(2), sim, 9, replications=3)
+        assert a == b
+
+
+class TestSurrogate:
+    @pytest.mark.parametrize(
+        "policy",
+        [
+            DistanceBasedRelay(0.6),
+            CounterBasedRelay(threshold=2),
+            NeighborKnowledgeRelay(),
+        ],
+        ids=lambda p: p.name,
+    )
+    def test_predicts_final_reachability(self, cfg, policy):
+        sr = surrogate_model(policy, cfg, seed=3, replications=5)
+        simulated = np.mean([r.reachability for r in sr.simulated])
+        assert abs(sr.trace.final_reachability - simulated) < 0.06
+
+    def test_reachability_error_metric(self, cfg):
+        sr = surrogate_model(DistanceBasedRelay(0.5), cfg, seed=4, replications=4)
+        assert 0.0 <= sr.reachability_error(5) < 0.25
+
+    def test_closed_form_source_labeled(self, cfg):
+        sr = surrogate_model(
+            DistanceBasedRelay(0.6),
+            cfg,
+            seed=5,
+            p_eff=distance_effective_probability(0.6),
+            replications=3,
+        )
+        assert sr.p_eff_source == "closed-form"
+        assert sr.p_eff == pytest.approx(0.64)
+
+    def test_measured_source_labeled(self, cfg):
+        sr = surrogate_model(CounterBasedRelay(2), cfg, seed=6, replications=3)
+        assert sr.p_eff_source == "measured"
+        assert 0.0 < sr.p_eff <= 1.0
+
+    def test_no_validation_runs(self, cfg):
+        sr = surrogate_model(
+            DistanceBasedRelay(0.6), cfg, seed=7, replications=3, validate=False
+        )
+        assert sr.simulated == []
+        with pytest.raises(ValueError, match="without validation"):
+            sr.reachability_error(5)

@@ -1,0 +1,96 @@
+"""Flooding analysis: CFM closed forms, CAM behaviour, Fig. 12 success rate."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.flooding import (
+    flooding_cfm_summary,
+    flooding_success_rate,
+    flooding_trace,
+)
+from repro.analysis.ring_model import RingModel
+from repro.errors import ConfigurationError
+
+
+class TestCfmSummary:
+    def test_closed_forms(self):
+        cfg = AnalysisConfig(n_rings=5, rho=60)
+        s = flooding_cfm_summary(cfg)
+        assert s.reachability == 1.0
+        assert s.latency_phases == 5
+        assert s.broadcasts == pytest.approx(60 * 25 + 1)
+
+    def test_scales_with_density(self):
+        a = flooding_cfm_summary(AnalysisConfig(rho=20))
+        b = flooding_cfm_summary(AnalysisConfig(rho=140))
+        assert b.broadcasts > a.broadcasts
+        assert a.latency_phases == b.latency_phases  # O(P r), density-free
+
+
+class TestFloodingTrace:
+    def test_is_p_one_run(self, paper_config):
+        a = flooding_trace(paper_config)
+        b = RingModel(paper_config).run(1.0, max_phases=200)
+        np.testing.assert_allclose(a.new_by_phase_ring, b.new_by_phase_ring)
+        assert a.p == 1.0
+
+    def test_cam_flooding_slow_at_high_density(self):
+        # Collisions don't stop the flooding wave but they cripple its
+        # speed: within the paper's 5-phase budget it reaches < 0.5 at
+        # rho = 140 (Fig. 4a, the p = 1 curve), despite eventually
+        # informing nearly everyone.
+        trace = flooding_trace(AnalysisConfig(rho=140))
+        assert trace.reachability_after(5) < 0.5
+        assert trace.final_reachability > 0.95
+
+
+class TestSuccessRate:
+    def test_rate_in_unit_interval(self, paper_config):
+        res = flooding_success_rate(paper_config)
+        assert 0.0 < res.rate < 1.0
+
+    def test_first_phase_rate_is_one(self, paper_config):
+        res = flooding_success_rate(paper_config)
+        assert res.per_phase_rates[0] == 1.0
+        assert res.per_phase_transmissions[0] == 1.0
+
+    def test_rate_decreases_with_density(self):
+        rates = [
+            flooding_success_rate(AnalysisConfig(rho=rho)).rate
+            for rho in (20, 60, 140)
+        ]
+        assert rates[0] > rates[1] > rates[2]
+
+    def test_receiver_conventions_differ(self, paper_config):
+        uninf = flooding_success_rate(paper_config, receivers="uninformed")
+        all_ = flooding_success_rate(paper_config, receivers="all")
+        assert all_.rate > uninf.rate  # informed receivers only add successes
+
+    def test_invalid_convention(self, paper_config):
+        with pytest.raises(ConfigurationError):
+            flooding_success_rate(paper_config, receivers="everyone")
+
+    def test_fig12_ratio_roughly_constant(self):
+        """The paper's Fig. 12 observation: optimal_p / success_rate is
+        nearly density-independent (they report ~11; we get ~10)."""
+        from repro.analysis.optimizer import optimal_probability
+
+        grid = np.arange(0.02, 1.001, 0.02)
+        ratios = []
+        for rho in (20, 80, 140):
+            cfg = AnalysisConfig(rho=rho)
+            opt = optimal_probability(cfg, "reachability_at_latency", 5, p_grid=grid)
+            sr = flooding_success_rate(cfg)
+            ratios.append(opt.p / sr.rate)
+        assert max(ratios) / min(ratios) < 1.35
+        assert 7.0 < np.mean(ratios) < 14.0
+
+    def test_transmissions_match_trace(self, paper_config):
+        res = flooding_success_rate(paper_config)
+        trace = res.trace
+        # Phase i's transmitters are phase i-1's arrivals (p = 1).
+        np.testing.assert_allclose(
+            res.per_phase_transmissions[1:],
+            trace.new_by_phase[:-1],
+        )

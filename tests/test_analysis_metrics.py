@@ -1,0 +1,87 @@
+"""The four paper metrics as standalone evaluators."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    energy_at_reachability,
+    latency_at_reachability,
+    reachability_at_energy,
+    reachability_at_latency,
+)
+from repro.analysis.ring_model import RingModel
+from repro.errors import ConfigurationError, InfeasibleConstraintError
+
+
+class TestReachabilityAtLatency:
+    def test_matches_trace(self, paper_config):
+        model = RingModel(paper_config)
+        direct = model.run(0.2, max_phases=5).reachability_after(5)
+        assert reachability_at_latency(paper_config, 0.2, 5) == pytest.approx(direct)
+
+    def test_accepts_prebuilt_model(self, paper_config):
+        model = RingModel(paper_config)
+        assert reachability_at_latency(model, 0.2, 5) == pytest.approx(
+            reachability_at_latency(paper_config, 0.2, 5)
+        )
+
+    def test_monotone_in_latency_budget(self, paper_config):
+        r3 = reachability_at_latency(paper_config, 0.2, 3)
+        r5 = reachability_at_latency(paper_config, 0.2, 5)
+        assert r5 >= r3
+
+    def test_fractional_budget(self, paper_config):
+        r45 = reachability_at_latency(paper_config, 0.2, 4.5)
+        r4 = reachability_at_latency(paper_config, 0.2, 4)
+        r5 = reachability_at_latency(paper_config, 0.2, 5)
+        assert r4 <= r45 <= r5
+
+    def test_invalid_latency(self, paper_config):
+        with pytest.raises(ConfigurationError):
+            reachability_at_latency(paper_config, 0.2, 0)
+
+
+class TestLatencyAtReachability:
+    def test_roundtrip_with_reachability(self, paper_config):
+        t = latency_at_reachability(paper_config, 0.3, 0.6)
+        r = reachability_at_latency(paper_config, 0.3, t)
+        assert r == pytest.approx(0.6, abs=1e-6)
+
+    def test_infeasible_raises(self, paper_config):
+        with pytest.raises(InfeasibleConstraintError):
+            latency_at_reachability(paper_config, 0.005, 0.72, max_phases=60)
+
+    def test_higher_target_takes_longer(self, paper_config):
+        t1 = latency_at_reachability(paper_config, 0.3, 0.4)
+        t2 = latency_at_reachability(paper_config, 0.3, 0.7)
+        assert t2 > t1
+
+
+class TestEnergyAtReachability:
+    def test_positive_and_at_least_one(self, paper_config):
+        m = energy_at_reachability(paper_config, 0.3, 0.5)
+        assert m >= 1.0  # the source always broadcasts
+
+    def test_higher_target_costs_more(self, paper_config):
+        m1 = energy_at_reachability(paper_config, 0.3, 0.4)
+        m2 = energy_at_reachability(paper_config, 0.3, 0.7)
+        assert m2 > m1
+
+    def test_infeasible_raises(self, paper_config):
+        with pytest.raises(InfeasibleConstraintError):
+            energy_at_reachability(paper_config, 0.005, 0.72, max_phases=60)
+
+
+class TestReachabilityAtEnergy:
+    def test_monotone_in_budget(self, paper_config):
+        r1 = reachability_at_energy(paper_config, 0.1, 10)
+        r2 = reachability_at_energy(paper_config, 0.1, 40)
+        assert r2 >= r1
+
+    def test_duality_with_energy_metric(self, paper_config):
+        budget = energy_at_reachability(paper_config, 0.1, 0.6)
+        reach = reachability_at_energy(paper_config, 0.1, budget)
+        assert reach == pytest.approx(0.6, abs=1e-6)
+
+    def test_invalid_budget(self, paper_config):
+        with pytest.raises(ConfigurationError):
+            reachability_at_energy(paper_config, 0.1, 0)

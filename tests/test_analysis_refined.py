@@ -1,0 +1,113 @@
+"""The density-aware CFM refinement (paper's future-work sketch)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.flooding import flooding_cfm_summary, flooding_success_rate
+from repro.analysis.refined import (
+    DensityAwareCostModel,
+    refined_flooding_summary,
+    success_rate_vs_density,
+)
+from repro.models.costs import CostModel
+
+
+class TestSuccessRate:
+    def test_single_transmitter_is_reliable(self):
+        cfg = AnalysisConfig(rho=40)
+        # concurrency 1: a lone transmitter never collides.
+        assert success_rate_vs_density(cfg, concurrency=1.0) == 1.0
+
+    def test_decreases_with_density(self):
+        rates = [
+            success_rate_vs_density(AnalysisConfig(rho=rho)) for rho in (10, 40, 100)
+        ]
+        assert rates[0] > rates[1] > rates[2]
+
+    def test_increases_with_slots(self):
+        r3 = success_rate_vs_density(AnalysisConfig(rho=40, slots=3))
+        r8 = success_rate_vs_density(AnalysisConfig(rho=40, slots=8))
+        assert r8 > r3
+
+    def test_thinning_helps(self):
+        cfg = AnalysisConfig(rho=60)
+        assert success_rate_vs_density(cfg, p=0.1) > success_rate_vs_density(cfg, p=1.0)
+
+    def test_single_slot_degenerate(self):
+        cfg = AnalysisConfig(rho=40, slots=1)
+        assert success_rate_vs_density(cfg, concurrency=1.0) == 1.0
+        assert success_rate_vs_density(cfg) == 0.0
+
+    def test_matches_expected_singletons_formula(self):
+        cfg = AnalysisConfig(rho=30, slots=3)
+        expected = (2.0 / 3.0) ** 29
+        assert success_rate_vs_density(cfg) == pytest.approx(expected)
+
+
+class TestDensityAwareCostModel:
+    def test_ring_method_matches_fig12_machinery(self):
+        cfg = AnalysisConfig(rho=40)
+        model = DensityAwareCostModel.for_density(cfg, method="ring")
+        assert model.success_rate == pytest.approx(
+            flooding_success_rate(cfg, receivers="all").rate
+        )
+
+    def test_slot_method_is_pessimistic(self):
+        cfg = AnalysisConfig(rho=40)
+        slot = DensityAwareCostModel.for_density(cfg, method="slot")
+        ring = DensityAwareCostModel.for_density(cfg, method="ring")
+        assert slot.expected_attempts > ring.expected_attempts
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            DensityAwareCostModel.for_density(AnalysisConfig(), method="vibes")
+
+    def test_effective_costs_scale_with_attempts(self):
+        model = DensityAwareCostModel(base=CostModel(time=2.0, energy=3.0), success_rate=0.25)
+        eff = model.effective()
+        assert eff.time == pytest.approx(8.0)
+        assert eff.energy == pytest.approx(12.0)
+
+    def test_perfect_rate_keeps_base_costs(self):
+        model = DensityAwareCostModel(base=CostModel(), success_rate=1.0)
+        assert model.effective() == CostModel()
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(Exception):
+            DensityAwareCostModel(base=CostModel(), success_rate=0.0)
+
+    def test_attempts_grow_with_density(self):
+        a = DensityAwareCostModel.for_density(AnalysisConfig(rho=20))
+        b = DensityAwareCostModel.for_density(AnalysisConfig(rho=100))
+        assert b.expected_attempts > a.expected_attempts
+
+
+class TestRefinedFloodingSummary:
+    def test_strictly_pricier_than_plain_cfm(self):
+        cfg = AnalysisConfig(rho=60)
+        plain = flooding_cfm_summary(cfg)
+        refined = refined_flooding_summary(cfg)
+        assert refined.broadcasts > plain.broadcasts
+        assert refined.latency_phases > plain.latency_phases
+        assert refined.reachability == plain.reachability == 1.0
+
+    def test_cost_gap_widens_with_density(self):
+        gaps = []
+        for rho in (20, 80):
+            cfg = AnalysisConfig(rho=rho)
+            gaps.append(
+                refined_flooding_summary(cfg).broadcasts
+                / flooding_cfm_summary(cfg).broadcasts
+            )
+        assert gaps[1] > gaps[0]
+
+    def test_attempt_factor_consistency(self):
+        cfg = AnalysisConfig(rho=40)
+        s = refined_flooding_summary(cfg)
+        assert s.broadcasts == pytest.approx(
+            (cfg.n_nodes + 1) * s.expected_attempts
+        )
+        assert s.latency_phases == pytest.approx(
+            cfg.n_rings * s.expected_attempts
+        )

@@ -1,0 +1,104 @@
+"""Tuning sensitivity: robustness bands and density-mismatch penalties."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.sensitivity import (
+    density_mismatch_penalty,
+    robust_probability_band,
+)
+
+GRID = np.arange(0.02, 1.001, 0.02)
+
+
+@pytest.fixture
+def cfg():
+    return AnalysisConfig(n_rings=4, rho=60, quad_nodes=48)
+
+
+class TestRobustnessBand:
+    def test_band_contains_optimum(self, cfg):
+        band = robust_probability_band(
+            cfg, "reachability_at_latency", 5, p_grid=GRID
+        )
+        assert band.p_low <= band.p_opt <= band.p_high
+
+    def test_band_widens_with_tolerance(self, cfg):
+        tight = robust_probability_band(
+            cfg, "reachability_at_latency", 5, tolerance=0.02, p_grid=GRID
+        )
+        loose = robust_probability_band(
+            cfg, "reachability_at_latency", 5, tolerance=0.2, p_grid=GRID
+        )
+        assert loose.width >= tight.width
+
+    def test_band_values_actually_within_tolerance(self, cfg):
+        from repro.analysis.metrics import reachability_at_latency
+
+        band = robust_probability_band(
+            cfg, "reachability_at_latency", 5, tolerance=0.05, p_grid=GRID
+        )
+        for p in (band.p_low, band.p_high):
+            v = reachability_at_latency(cfg, p, 5)
+            assert v >= band.value_opt * 0.95 - 1e-9
+
+    def test_min_metric_band(self, cfg):
+        band = robust_probability_band(
+            cfg, "energy_at_reachability", 0.6, tolerance=0.1, p_grid=GRID
+        )
+        assert band.p_low <= band.p_opt <= band.p_high
+
+    def test_relative_width_positive(self, cfg):
+        band = robust_probability_band(
+            cfg, "reachability_at_latency", 5, p_grid=GRID
+        )
+        assert band.relative_width >= 0.0
+
+    def test_invalid_tolerance(self, cfg):
+        with pytest.raises(Exception):
+            robust_probability_band(
+                cfg, "reachability_at_latency", 5, tolerance=1.5
+            )
+
+
+class TestDensityMismatch:
+    def test_correct_estimate_is_lossless(self, cfg):
+        res = density_mismatch_penalty(cfg, cfg.rho, p_grid=GRID)
+        assert res.efficiency == pytest.approx(1.0, abs=1e-9)
+
+    def test_overestimating_density_hurts_more(self, cfg):
+        """Assume rho=180 when it's 60 (p too small: the wave misses the
+        5-phase deadline) vs assume rho=20 (p too big: shallow right
+        flank of the bell curve) — under the latency constraint the
+        overestimate is the dangerous direction."""
+        under = density_mismatch_penalty(cfg, 20, p_grid=GRID)
+        over = density_mismatch_penalty(cfg, 180, p_grid=GRID)
+        assert under.efficiency > over.efficiency
+        assert under.efficiency > 0.85  # 3x underestimate stays benign
+
+    def test_mismatch_always_loses_something(self, cfg):
+        under = density_mismatch_penalty(cfg, 20, p_grid=GRID)
+        over = density_mismatch_penalty(cfg, 180, p_grid=GRID)
+        assert under.efficiency < 1.0
+        assert over.efficiency < 1.0
+
+    def test_p_used_matches_assumed_density_optimum(self, cfg):
+        from repro.analysis.optimizer import optimal_probability
+
+        res = density_mismatch_penalty(cfg, 30, p_grid=GRID)
+        expected = optimal_probability(
+            cfg.with_rho(30), "reachability_at_latency", 5, p_grid=GRID
+        )
+        assert res.p_used == expected.p
+
+    def test_efficiency_bounded(self, cfg):
+        for rho_assumed in (20, 60, 140):
+            res = density_mismatch_penalty(cfg, rho_assumed, p_grid=GRID)
+            assert 0.0 <= res.efficiency <= 1.0 + 1e-9
+
+    def test_min_metric_mismatch(self, cfg):
+        res = density_mismatch_penalty(
+            cfg, 30, metric="energy_at_reachability", constraint=0.6, p_grid=GRID
+        )
+        assert 0.0 <= res.efficiency <= 1.0 + 1e-9

@@ -1,0 +1,130 @@
+"""BroadcastTrace metric extraction on hand-constructed traces."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.trace import BroadcastTrace
+from repro.errors import InfeasibleConstraintError
+
+
+@pytest.fixture
+def config():
+    # N = rho * P^2 = 10 * 4 = 40 nodes.
+    return AnalysisConfig(n_rings=2, rho=10.0)
+
+
+@pytest.fixture
+def trace(config):
+    # Phase arrivals: 10, 20, 6 => cumulative reach 0.25, 0.75, 0.90.
+    new = np.array([[10.0, 0.0], [12.0, 8.0], [2.0, 4.0]])
+    bcast = np.array([1.0, 4.0, 8.0])
+    return BroadcastTrace(config=config, p=0.4, new_by_phase_ring=new, broadcasts_by_phase=bcast)
+
+
+class TestConstruction:
+    def test_shape_validation(self, config):
+        with pytest.raises(ValueError, match="new_by_phase_ring"):
+            BroadcastTrace(config, 0.5, np.zeros((2, 3)), np.zeros(2))
+
+    def test_broadcast_shape_validation(self, config):
+        with pytest.raises(ValueError, match="broadcasts_by_phase"):
+            BroadcastTrace(config, 0.5, np.zeros((2, 2)), np.zeros(3))
+
+    def test_basic_series(self, trace):
+        assert trace.phases == 3
+        np.testing.assert_allclose(trace.new_by_phase, [10, 20, 6])
+        assert trace.informed_total == 36.0
+        assert trace.broadcasts_total == 13.0
+
+    def test_informed_by_ring(self, trace):
+        np.testing.assert_allclose(trace.informed_by_ring(), [24.0, 12.0])
+
+
+class TestReachabilityAfter:
+    def test_at_phase_boundaries(self, trace):
+        assert trace.reachability_after(1) == pytest.approx(0.25)
+        assert trace.reachability_after(2) == pytest.approx(0.75)
+        assert trace.reachability_after(3) == pytest.approx(0.90)
+
+    def test_fractional_interpolation(self, trace):
+        # Halfway through phase 2: 0.25 + 0.5 * 0.50.
+        assert trace.reachability_after(1.5) == pytest.approx(0.50)
+
+    def test_zero(self, trace):
+        assert trace.reachability_after(0) == 0.0
+
+    def test_beyond_trace_returns_final(self, trace):
+        assert trace.reachability_after(50) == pytest.approx(0.90)
+
+
+class TestLatencyTo:
+    def test_exact_boundary(self, trace):
+        assert trace.latency_to(0.75) == pytest.approx(2.0)
+
+    def test_interpolated(self, trace):
+        assert trace.latency_to(0.5) == pytest.approx(1.5)
+
+    def test_inside_first_phase(self, trace):
+        assert trace.latency_to(0.125) == pytest.approx(0.5)
+
+    def test_infeasible_raises(self, trace):
+        with pytest.raises(InfeasibleConstraintError, match="peaks at"):
+            trace.latency_to(0.95)
+
+    def test_duality_with_reachability_after(self, trace):
+        # reachability_after(latency_to(t)) == t on the increasing part.
+        for target in (0.2, 0.5, 0.8):
+            t = trace.latency_to(target)
+            assert trace.reachability_after(t) == pytest.approx(target)
+
+
+class TestBroadcastAccounting:
+    def test_broadcasts_at_boundaries(self, trace):
+        assert trace.broadcasts_at(1) == pytest.approx(1.0)
+        assert trace.broadcasts_at(3) == pytest.approx(13.0)
+
+    def test_broadcasts_at_fraction(self, trace):
+        assert trace.broadcasts_at(2.5) == pytest.approx(1 + 4 + 0.5 * 8)
+
+    def test_broadcasts_to_target(self, trace):
+        # 50% reach at t=1.5 => 1 + 0.5*4 broadcasts.
+        assert trace.broadcasts_to(0.5) == pytest.approx(3.0)
+
+    def test_broadcasts_to_infeasible(self, trace):
+        with pytest.raises(InfeasibleConstraintError):
+            trace.broadcasts_to(0.99)
+
+
+class TestEnergyBudget:
+    def test_budget_larger_than_total(self, trace):
+        assert trace.reachability_within_energy(100) == pytest.approx(0.90)
+
+    def test_budget_mid_phase(self, trace):
+        # Budget 3 is exhausted halfway through phase 2 => reach 0.5.
+        assert trace.reachability_within_energy(3.0) == pytest.approx(0.5)
+
+    def test_budget_one(self, trace):
+        # The source's broadcast alone: end of phase 1.
+        assert trace.reachability_within_energy(1.0) == pytest.approx(0.25)
+
+    def test_inverse_of_broadcasts_to(self, trace):
+        for target in (0.3, 0.6, 0.85):
+            budget = trace.broadcasts_to(target)
+            assert trace.reachability_within_energy(budget) == pytest.approx(
+                target, abs=1e-9
+            )
+
+
+class TestTruncated:
+    def test_truncate(self, trace):
+        t2 = trace.truncated(2)
+        assert t2.phases == 2
+        assert t2.informed_total == 30.0
+
+    def test_truncate_beyond_is_noop(self, trace):
+        assert trace.truncated(10).phases == 3
+
+    def test_truncate_zero_rejected(self, trace):
+        with pytest.raises(ValueError):
+            trace.truncated(0)

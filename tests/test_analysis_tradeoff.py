@@ -1,0 +1,61 @@
+"""The reachability/energy trade-off curve and its Pareto frontier."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.optimizer import optimal_probability, tradeoff_curve
+
+GRID = np.arange(0.05, 1.001, 0.05)
+
+
+@pytest.fixture
+def curve():
+    return tradeoff_curve(AnalysisConfig(n_rings=4, rho=40, quad_nodes=48), 5, p_grid=GRID)
+
+
+class TestCurve:
+    def test_shapes(self, curve):
+        assert curve.p_grid.shape == curve.reachability.shape == curve.broadcasts.shape
+        assert curve.efficient.dtype == bool
+
+    def test_values_sane(self, curve):
+        assert np.all((curve.reachability >= 0) & (curve.reachability <= 1))
+        assert np.all(curve.broadcasts >= 1.0)  # the source always transmits
+
+    def test_energy_monotone_in_p(self, curve):
+        # Within a fixed horizon, more relaying probability = more sends.
+        assert np.all(np.diff(curve.broadcasts) >= -1e-9)
+
+
+class TestFrontier:
+    def test_frontier_nonempty_and_sorted(self, curve):
+        p, r, e = curve.frontier()
+        assert len(p) >= 1
+        assert np.all(np.diff(e) >= 0)
+        # Along a Pareto frontier, more energy must buy more reachability.
+        assert np.all(np.diff(r) >= -1e-12)
+
+    def test_no_point_dominates_a_frontier_point(self, curve):
+        p, r, e = curve.frontier()
+        for ri, ei in zip(r, e):
+            dominates = (
+                (curve.reachability >= ri)
+                & (curve.broadcasts <= ei)
+                & ((curve.reachability > ri) | (curve.broadcasts < ei))
+            )
+            assert not dominates.any()
+
+    def test_endpoints_relate_to_paper_metrics(self):
+        """Metric 1's optimum is the max-reachability end of the frontier."""
+        cfg = AnalysisConfig(n_rings=4, rho=40, quad_nodes=48)
+        curve = tradeoff_curve(cfg, 5, p_grid=GRID)
+        metric1 = optimal_probability(
+            cfg, "reachability_at_latency", 5, p_grid=GRID
+        )
+        p, r, e = curve.frontier()
+        assert r[-1] == pytest.approx(metric1.value, abs=1e-9)
+
+    def test_dominated_points_exist(self, curve):
+        # Flooding at a 5-phase horizon is dominated at this density.
+        assert not curve.efficient.all()

@@ -1,0 +1,131 @@
+"""mu'(K1, K2, s) — Appendix A's two-type collision probability."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collision.carrier import (
+    CarrierCollisionTable,
+    mu_carrier_exact,
+    mu_carrier_real,
+    no_good_slot_table,
+)
+from repro.collision.poisson import mu_poisson_carrier
+from repro.collision.slots import mu_exact
+
+
+def mc_mu_carrier(k1, k2, s, rng, trials=60_000):
+    hits = 0
+    for _ in range(trials):
+        a = np.bincount(rng.integers(0, s, size=k1), minlength=s)
+        b = np.bincount(rng.integers(0, s, size=k2), minlength=s)
+        hits += bool(((a == 1) & (b == 0)).any())
+    return hits / trials
+
+
+class TestBaseCases:
+    def test_reduces_to_mu_when_k2_zero(self):
+        for k in range(1, 12):
+            assert mu_carrier_exact(k, 0, 3) == pytest.approx(
+                mu_exact(k, 3), rel=1e-12
+            )
+
+    def test_no_in_range_transmitter(self):
+        assert mu_carrier_exact(0, 5, 3) == 0.0
+
+    def test_single_pair_single_slot(self):
+        assert mu_carrier_exact(1, 0, 1) == 1.0
+        assert mu_carrier_exact(1, 1, 1) == 0.0
+
+    def test_one_each_two_slots(self):
+        # Success iff they pick different slots: 1/2.
+        assert mu_carrier_exact(1, 1, 2) == pytest.approx(0.5, rel=1e-12)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mu_carrier_exact(-1, 0, 3)
+
+
+class TestMonteCarlo:
+    @pytest.mark.parametrize("k1,k2", [(1, 2), (3, 2), (2, 5), (4, 1)])
+    def test_against_simulation(self, k1, k2, rng):
+        assert mu_carrier_exact(k1, k2, 3) == pytest.approx(
+            mc_mu_carrier(k1, k2, 3, rng), abs=0.01
+        )
+
+
+class TestTable:
+    def test_table_matches_scalars(self):
+        table = CarrierCollisionTable()
+        for k1 in range(4):
+            for k2 in range(4):
+                assert table.mu(k1, k2, 3) == pytest.approx(
+                    mu_carrier_exact(k1, k2, 3), rel=1e-12
+                )
+
+    def test_no_good_slot_is_probability(self):
+        q = no_good_slot_table(10, 10, 3)
+        assert np.all((q >= -1e-12) & (q <= 1 + 1e-12))
+
+    def test_exact_limit_enforced(self):
+        table = CarrierCollisionTable(exact_limit=10)
+        with pytest.raises(ValueError, match="exact_limit"):
+            table.mu(8, 8, 3)
+
+
+class TestRealExtension:
+    def test_matches_integers(self):
+        for k1, k2 in [(1, 0), (2, 3), (4, 2)]:
+            assert mu_carrier_real(float(k1), float(k2), 3) == pytest.approx(
+                mu_carrier_exact(k1, k2, 3), rel=1e-9
+            )
+
+    def test_bilinear_between(self):
+        corners = [mu_carrier_exact(a, b, 3) for a, b in [(1, 1), (2, 1), (1, 2), (2, 2)]]
+        expected = np.mean(corners)
+        assert mu_carrier_real(1.5, 1.5, 3) == pytest.approx(expected, rel=1e-9)
+
+    def test_poisson_fallback_for_large_counts(self):
+        table = CarrierCollisionTable(exact_limit=8)
+        val = table.mu_real(20.0, 30.0, 3)
+        assert val == pytest.approx(mu_poisson_carrier(20.0, 30.0, 3), rel=1e-12)
+
+    def test_fallback_is_continuous_at_crossover(self):
+        # Exact bilinear and Poisson closed form agree well at moderate counts.
+        table = CarrierCollisionTable(exact_limit=96)
+        exact = table.mu_real(30.0, 30.0, 3)
+        poisson = mu_poisson_carrier(30.0, 30.0, 3)
+        assert exact == pytest.approx(poisson, abs=5e-3)
+
+    def test_vectorized_mixed_regions(self):
+        out = mu_carrier_real(np.array([1.0, 80.0]), np.array([1.0, 80.0]), 3)
+        assert out.shape == (2,)
+        assert np.all((out >= 0) & (out <= 1))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mu_carrier_real(-1.0, 0.0, 3)
+
+
+class TestProperties:
+    @given(
+        k1=st.integers(min_value=1, max_value=12),
+        k2=st.integers(min_value=0, max_value=12),
+        s=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_unit_interval(self, k1, k2, s):
+        assert 0.0 <= mu_carrier_exact(k1, k2, s) <= 1.0
+
+    @given(k1=st.integers(min_value=1, max_value=10), s=st.integers(2, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_decreasing_in_carrier_traffic(self, k1, s):
+        vals = [mu_carrier_exact(k1, k2, s) for k2 in range(8)]
+        assert all(b <= a + 1e-12 for a, b in zip(vals, vals[1:]))
+
+    @given(k2=st.integers(min_value=0, max_value=8))
+    @settings(max_examples=30, deadline=None)
+    def test_bounded_by_plain_mu(self, k2):
+        for k1 in range(1, 8):
+            assert mu_carrier_exact(k1, k2, 3) <= mu_exact(k1, 3) + 1e-12

@@ -1,0 +1,90 @@
+"""Singleton-count distribution: over-determined consistency checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collision.counts import duplicates_at_least, singleton_count_distribution
+from repro.collision.slots import expected_singleton_slots, mu_exact
+
+
+class TestKnownCases:
+    def test_zero_items(self):
+        pmf = singleton_count_distribution(0, 3)
+        assert pmf[0] == 1.0 and pmf[1:].sum() == 0.0
+
+    def test_one_item_always_one_singleton(self):
+        pmf = singleton_count_distribution(1, 4)
+        assert pmf[1] == pytest.approx(1.0)
+
+    def test_two_items_two_slots(self):
+        # Same slot (p=1/2): 0 singletons; different slots: 2 singletons.
+        pmf = singleton_count_distribution(2, 2)
+        assert pmf[0] == pytest.approx(0.5)
+        assert pmf[1] == pytest.approx(0.0, abs=1e-12)
+        assert pmf[2] == pytest.approx(0.5)
+
+    def test_single_slot(self):
+        assert singleton_count_distribution(1, 1)[1] == pytest.approx(1.0)
+        assert singleton_count_distribution(3, 1)[0] == pytest.approx(1.0)
+
+
+class TestConsistency:
+    @given(k=st.integers(min_value=0, max_value=40), s=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=100, deadline=None)
+    def test_is_a_distribution(self, k, s):
+        pmf = singleton_count_distribution(k, s)
+        assert pmf.shape == (s + 1,)
+        assert np.all(pmf >= -1e-12)
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-9)
+
+    @given(k=st.integers(min_value=1, max_value=40), s=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=80, deadline=None)
+    def test_tail_matches_mu(self, k, s):
+        # P(S >= 1) must equal Eq. (2)'s mu — two independent DPs.
+        pmf = singleton_count_distribution(k, s)
+        assert 1.0 - pmf[0] == pytest.approx(mu_exact(k, s), abs=1e-9)
+
+    @given(k=st.integers(min_value=0, max_value=40), s=st.integers(min_value=2, max_value=6))
+    @settings(max_examples=80, deadline=None)
+    def test_mean_matches_linearity_formula(self, k, s):
+        pmf = singleton_count_distribution(k, s)
+        mean = float(np.dot(np.arange(s + 1), pmf))
+        assert mean == pytest.approx(expected_singleton_slots(k, s), abs=1e-9)
+
+    def test_impossible_count_k_minus(self):
+        # With k=2 items you can never have exactly 1 singleton... in
+        # fact S=1 requires one slot with 1 item and the other item(s)
+        # grouped; with k=2 the second item alone would also be a
+        # singleton, so S=1 has probability 0.
+        pmf = singleton_count_distribution(2, 5)
+        assert pmf[1] == pytest.approx(0.0, abs=1e-12)
+
+
+class TestMonteCarlo:
+    @pytest.mark.parametrize("k,s", [(4, 3), (7, 3), (5, 4)])
+    def test_against_simulation(self, k, s, rng):
+        pmf = singleton_count_distribution(k, s)
+        counts = np.zeros(s + 1)
+        trials = 40_000
+        for _ in range(trials):
+            occ = np.bincount(rng.integers(0, s, size=k), minlength=s)
+            counts[int((occ == 1).sum())] += 1
+        empirical = counts / trials
+        np.testing.assert_allclose(empirical, pmf, atol=0.01)
+
+
+class TestDuplicatesAtLeast:
+    def test_threshold_zero(self):
+        assert duplicates_at_least(5, 3, 0) == 1.0
+
+    def test_threshold_one_is_mu(self):
+        assert duplicates_at_least(5, 3, 1) == pytest.approx(mu_exact(5, 3))
+
+    def test_threshold_above_slots(self):
+        assert duplicates_at_least(5, 3, 4) == 0.0
+
+    def test_monotone_in_threshold(self):
+        vals = [duplicates_at_least(6, 4, t) for t in range(6)]
+        assert all(b <= a + 1e-12 for a, b in zip(vals, vals[1:]))

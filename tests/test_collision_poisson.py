@@ -1,0 +1,106 @@
+"""Poisson closed forms: exactness of the mixture identity and limits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collision.poisson import (
+    expected_singleton_slots_poisson,
+    mu_poisson,
+    mu_poisson_carrier,
+    mu_poisson_mixture,
+)
+
+
+class TestMuPoisson:
+    def test_zero(self):
+        assert mu_poisson(0.0, 3) == 0.0
+
+    def test_large_lambda_vanishes(self):
+        assert mu_poisson(500.0, 3) == pytest.approx(0.0, abs=1e-12)
+
+    @given(lam=st.floats(min_value=0.01, max_value=30.0), s=st.integers(2, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_mixture_identity(self, lam, s):
+        # Per-slot Poisson independence makes the closed form exactly the
+        # Poisson mixture of the fixed-K table (independent implementations).
+        assert mu_poisson(lam, s) == pytest.approx(
+            mu_poisson_mixture(lam, s), abs=1e-8
+        )
+
+    @given(lam=st.floats(min_value=0.0, max_value=100.0), s=st.integers(1, 8))
+    @settings(max_examples=150, deadline=None)
+    def test_unit_interval(self, lam, s):
+        assert 0.0 <= mu_poisson(lam, s) <= 1.0
+
+    def test_vectorized(self):
+        out = mu_poisson(np.array([0.0, 1.0, 5.0]), 3)
+        assert out.shape == (3,)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mu_poisson(-1.0, 3)
+
+    def test_monte_carlo(self, rng):
+        lam, s = 3.0, 3
+        hits = 0
+        trials = 60_000
+        ks = rng.poisson(lam, size=trials)
+        for k in ks:
+            if k == 0:
+                continue
+            counts = np.bincount(rng.integers(0, s, size=k), minlength=s)
+            hits += bool((counts == 1).any())
+        assert mu_poisson(lam, s) == pytest.approx(hits / trials, abs=0.01)
+
+
+class TestMuPoissonCarrier:
+    def test_reduces_to_plain_when_no_carrier_traffic(self):
+        for lam in (0.5, 2.0, 8.0):
+            assert mu_poisson_carrier(lam, 0.0, 3) == pytest.approx(
+                mu_poisson(lam, 3), rel=1e-12
+            )
+
+    def test_carrier_traffic_only_hurts(self):
+        base = mu_poisson_carrier(2.0, 0.0, 3)
+        for lam2 in (0.5, 1.0, 5.0):
+            assert mu_poisson_carrier(2.0, lam2, 3) < base
+
+    def test_zero_in_range(self):
+        assert mu_poisson_carrier(0.0, 3.0, 3) == 0.0
+
+    @given(
+        l1=st.floats(min_value=0.0, max_value=40.0),
+        l2=st.floats(min_value=0.0, max_value=40.0),
+        s=st.integers(1, 6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_unit_interval(self, l1, l2, s):
+        assert 0.0 <= mu_poisson_carrier(l1, l2, s) <= 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mu_poisson_carrier(1.0, -1.0, 3)
+
+
+class TestExpectedSingletons:
+    def test_formula(self):
+        lam, s = 4.0, 3
+        assert expected_singleton_slots_poisson(lam, s) == pytest.approx(
+            lam * np.exp(-lam / s)
+        )
+
+    def test_zero(self):
+        assert expected_singleton_slots_poisson(0.0, 3) == 0.0
+
+    def test_monte_carlo(self, rng):
+        lam, s = 2.5, 3
+        total = 0
+        trials = 50_000
+        for k in rng.poisson(lam, size=trials):
+            counts = np.bincount(rng.integers(0, s, size=k), minlength=s)
+            total += int((counts == 1).sum())
+        assert expected_singleton_slots_poisson(lam, s) == pytest.approx(
+            total / trials, abs=0.02
+        )

@@ -1,0 +1,183 @@
+"""mu(K, s) — the paper's Eq. (2) — against closed forms and Monte Carlo."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collision.slots import (
+    SlotCollisionTable,
+    expected_singleton_slots,
+    mu_exact,
+    mu_real,
+    no_singleton_table,
+)
+
+
+def mc_mu(k: int, s: int, rng: np.random.Generator, trials: int = 100_000) -> float:
+    draws = rng.integers(0, s, size=(trials, k))
+    hits = 0
+    for row in draws:
+        counts = np.bincount(row, minlength=s)
+        hits += bool((counts == 1).any())
+    return hits / trials
+
+
+class TestBaseCases:
+    def test_zero_items(self):
+        assert mu_exact(0, 3) == 0.0
+
+    def test_one_item_always_succeeds(self):
+        for s in (1, 2, 3, 7):
+            assert mu_exact(1, s) == 1.0
+
+    def test_two_items(self):
+        # Fails iff both land in the same slot: mu = 1 - 1/s.
+        for s in (2, 3, 5):
+            assert mu_exact(2, s) == pytest.approx(1.0 - 1.0 / s, rel=1e-12)
+
+    def test_single_slot(self):
+        assert mu_exact(1, 1) == 1.0
+        assert mu_exact(2, 1) == 0.0
+        assert mu_exact(5, 1) == 0.0
+
+    def test_three_items_two_slots(self):
+        # Counts are (3,0),(0,3) w.p. 1/8 each; (2,1),(1,2) w.p. 3/8 each.
+        assert mu_exact(3, 2) == pytest.approx(6.0 / 8.0, rel=1e-12)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mu_exact(-1, 3)
+
+
+class TestMonteCarlo:
+    @pytest.mark.parametrize("k,s", [(3, 3), (5, 3), (8, 3), (4, 2), (6, 5)])
+    def test_against_simulation(self, k, s, rng):
+        assert mu_exact(k, s) == pytest.approx(mc_mu(k, s, rng, 60_000), abs=0.01)
+
+
+class TestTable:
+    def test_matches_scalar(self):
+        table = SlotCollisionTable(initial_kmax=16)
+        for k in range(10):
+            assert table.mu(k, 3) == pytest.approx(mu_exact(k, 3), rel=1e-12)
+
+    def test_vectorized_lookup(self):
+        table = SlotCollisionTable(initial_kmax=16)
+        out = table.mu(np.array([0, 1, 2, 5]), 3)
+        assert out.shape == (4,)
+        assert out[1] == 1.0
+
+    def test_grows_on_demand(self):
+        table = SlotCollisionTable(initial_kmax=4)
+        val = table.mu(100, 3)  # beyond initial capacity
+        assert 0.0 <= val <= 1.0
+        assert val == pytest.approx(mu_exact(100, 3), rel=1e-9)
+
+    def test_negative_rejected(self):
+        table = SlotCollisionTable()
+        with pytest.raises(ValueError):
+            table.mu(np.array([-2]), 3)
+
+
+class TestRealExtension:
+    def test_interpolation_matches_integers(self):
+        for k in range(6):
+            assert mu_real(float(k), 3) == pytest.approx(mu_exact(k, 3), rel=1e-12)
+
+    def test_interpolation_between(self):
+        lo, hi = mu_exact(2, 3), mu_exact(3, 3)
+        assert mu_real(2.5, 3) == pytest.approx(0.5 * (lo + hi), rel=1e-12)
+
+    def test_small_lambda_linear(self):
+        # Between K=0 (mu=0) and K=1 (mu=1): mu_real(lam) = lam.
+        assert mu_real(0.3, 3) == pytest.approx(0.3, rel=1e-12)
+
+    def test_vectorized(self):
+        out = mu_real(np.linspace(0, 5, 11), 3)
+        assert out.shape == (11,)
+
+    def test_poisson_method_dispatch(self):
+        from repro.collision.poisson import mu_poisson
+
+        assert mu_real(2.7, 3, method="poisson") == pytest.approx(mu_poisson(2.7, 3))
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="method"):
+            mu_real(1.0, 3, method="magic")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mu_real(-0.1, 3)
+
+
+class TestProperties:
+    @given(k=st.integers(min_value=1, max_value=60), s=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=150, deadline=None)
+    def test_in_unit_interval(self, k, s):
+        assert 0.0 <= mu_exact(k, s) <= 1.0
+
+    @given(s=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=30, deadline=None)
+    def test_eventually_decreasing_in_k(self, s):
+        # mu is NOT monotone at small k (e.g. mu(3,2)=0.75 > mu(2,2)=0.5:
+        # a third contender creates a singleton), but once the slots are
+        # saturated (k >= 3s) more contenders only hurt.
+        table = SlotCollisionTable(initial_kmax=128).table(s, 120)
+        tail = table[3 * s : 120]
+        assert np.all(np.diff(tail) <= 1e-12)
+
+    @given(s=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_vanishes_at_high_contention(self, s):
+        table = SlotCollisionTable(initial_kmax=512).table(s, 400)
+        assert table[400] < 1e-4
+
+    @given(k=st.integers(min_value=1, max_value=40))
+    @settings(max_examples=40, deadline=None)
+    def test_increasing_in_slots(self, k):
+        # More slots can only help.
+        vals = [mu_exact(k, s) for s in range(1, 8)]
+        assert all(b >= a - 1e-12 for a, b in zip(vals, vals[1:]))
+
+    @given(
+        lam=st.floats(min_value=0.0, max_value=50.0),
+        s=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_real_extension_bounded(self, lam, s):
+        assert 0.0 <= mu_real(lam, s) <= 1.0
+
+    def test_no_singleton_table_is_probability(self):
+        q = no_singleton_table(64, 3)
+        assert np.all((q >= -1e-12) & (q <= 1.0 + 1e-12))
+
+
+class TestExpectedSingletons:
+    def test_one_item(self):
+        assert expected_singleton_slots(1, 3) == pytest.approx(1.0)
+
+    def test_formula(self):
+        assert expected_singleton_slots(4, 3) == pytest.approx(4 * (2 / 3) ** 3)
+
+    def test_monte_carlo(self, rng):
+        k, s = 6, 3
+        draws = rng.integers(0, s, size=(60_000, k))
+        singles = np.array(
+            [(np.bincount(row, minlength=s) == 1).sum() for row in draws]
+        )
+        assert expected_singleton_slots(k, s) == pytest.approx(
+            singles.mean(), abs=0.02
+        )
+
+    def test_zero(self):
+        assert expected_singleton_slots(0, 3) == 0.0
+
+    def test_continuous_extension_monotone_tail(self):
+        ks = np.linspace(3, 40, 50)
+        vals = expected_singleton_slots(ks, 3)
+        assert np.all(np.diff(vals) < 0)  # past the mode it decays
+
+    def test_single_slot_degenerate(self):
+        assert expected_singleton_slots(1, 1) == 1.0
+        assert expected_singleton_slots(3, 1) == 0.0

@@ -1,0 +1,33 @@
+"""The exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in errors.__all__:
+        exc = getattr(errors, name)
+        assert issubclass(exc, errors.ReproError)
+
+
+def test_configuration_error_is_value_error():
+    # So sloppy callers catching ValueError still see config mistakes.
+    assert issubclass(errors.ConfigurationError, ValueError)
+
+
+def test_convergence_is_model_error():
+    assert issubclass(errors.ConvergenceError, errors.ModelError)
+
+
+def test_infeasible_is_model_error():
+    assert issubclass(errors.InfeasibleConstraintError, errors.ModelError)
+
+
+def test_protocol_is_simulation_error():
+    assert issubclass(errors.ProtocolError, errors.SimulationError)
+
+
+def test_errors_carry_messages():
+    with pytest.raises(errors.ReproError, match="boom"):
+        raise errors.SimulationError("boom")

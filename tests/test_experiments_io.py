@@ -1,0 +1,106 @@
+"""Figure persistence: JSON round-trips and CSV export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.io import (
+    figure_from_json,
+    figure_to_csv,
+    figure_to_json,
+    load_figure,
+    load_figures,
+    save_figure,
+    save_figures,
+)
+from repro.experiments.report import FigureResult
+
+
+@pytest.fixture
+def result():
+    return FigureResult(
+        figure="fig4b",
+        title="Optimal probability",
+        x_name="rho",
+        x_values=np.array([20.0, 60.0, 140.0]),
+        series={
+            "optimal_p": np.array([0.64, 0.21, 0.09]),
+            "latency": np.array([4.6, np.nan, 5.0]),
+        },
+        notes={"plateau": 0.8356, "claim": "decays with density"},
+    )
+
+
+class TestJsonRoundtrip:
+    def test_roundtrip_preserves_everything(self, result):
+        back = figure_from_json(figure_to_json(result))
+        assert back.figure == result.figure
+        assert back.title == result.title
+        assert back.x_name == result.x_name
+        np.testing.assert_allclose(back.x_values, result.x_values)
+        assert set(back.series) == set(result.series)
+        np.testing.assert_allclose(
+            back.series_array("optimal_p"), result.series_array("optimal_p")
+        )
+
+    def test_nan_survives_as_null(self, result):
+        text = figure_to_json(result)
+        assert "NaN" not in text  # strict JSON
+        back = figure_from_json(text)
+        assert np.isnan(back.series_array("latency")[1])
+
+    def test_notes_preserved(self, result):
+        back = figure_from_json(figure_to_json(result))
+        assert back.notes["claim"] == "decays with density"
+        assert back.notes["plateau"] == pytest.approx(0.8356)
+
+    def test_schema_checked(self):
+        with pytest.raises(ValueError, match="schema"):
+            figure_from_json(json.dumps({"schema": "other/9"}))
+
+    def test_output_is_valid_json(self, result):
+        json.loads(figure_to_json(result))
+
+
+class TestFiles:
+    def test_save_and_load(self, result, tmp_path):
+        path = save_figure(result, tmp_path / "fig.json")
+        back = load_figure(path)
+        assert back.figure == "fig4b"
+
+    def test_batch_roundtrip(self, result, tmp_path):
+        other = FigureResult(
+            figure="fig12",
+            title="ratio",
+            x_name="rho",
+            x_values=[20.0],
+            series={"ratio": [10.2]},
+        )
+        save_figures([result, other], tmp_path)
+        loaded = load_figures(tmp_path)
+        assert set(loaded) == {"fig4b", "fig12"}
+
+    def test_load_empty_directory(self, tmp_path):
+        assert load_figures(tmp_path) == {}
+
+
+class TestCsv:
+    def test_header_and_rows(self, result):
+        csv_text = figure_to_csv(result)
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "rho,optimal_p,latency"
+        assert len(lines) == 4
+
+    def test_nan_is_empty_cell(self, result):
+        csv_text = figure_to_csv(result)
+        assert ",0.21," in csv_text
+        row = csv_text.strip().splitlines()[2]
+        assert row.endswith(",")  # NaN latency at rho=60
+
+    def test_real_figure_exports(self, tiny_scale):
+        from repro.experiments.figures import generate_figure
+
+        res = generate_figure("fig4b", tiny_scale)
+        csv_text = figure_to_csv(res)
+        assert csv_text.splitlines()[0].startswith("rho,")

@@ -1,0 +1,121 @@
+"""Circle intersection area (paper Eq. 1): exactness and properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.circles import intersection_area, lens_area, paper_f
+
+radii = st.floats(min_value=0.01, max_value=50.0, allow_nan=False)
+dists = st.floats(min_value=0.0, max_value=120.0, allow_nan=False)
+
+
+class TestKnownValues:
+    def test_identical_circles_zero_distance(self):
+        assert intersection_area(2.0, 2.0, 0.0) == pytest.approx(np.pi * 4.0)
+
+    def test_disjoint(self):
+        assert intersection_area(1.0, 1.0, 2.5) == 0.0
+
+    def test_tangent_external(self):
+        assert intersection_area(1.0, 1.0, 2.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_contained(self):
+        assert intersection_area(5.0, 1.0, 1.0) == pytest.approx(np.pi)
+
+    def test_tangent_internal(self):
+        assert intersection_area(2.0, 1.0, 1.0) == pytest.approx(np.pi, abs=1e-9)
+
+    def test_half_overlap_unit_circles(self):
+        # Standard lens: two unit circles at distance 1.
+        expected = 2.0 * np.arccos(0.5) - np.sqrt(3.0) / 2.0
+        assert intersection_area(1.0, 1.0, 1.0) == pytest.approx(expected, rel=1e-12)
+
+    def test_zero_radius_circle(self):
+        assert intersection_area(0.0, 1.0, 0.5) == 0.0
+        assert intersection_area(1.0, 0.0, 0.5) == 0.0
+
+    def test_monte_carlo_reference(self, rng):
+        # Estimate the overlap of r1=2, r2=1.3, d=1.7 by rejection sampling.
+        r1, r2, d = 2.0, 1.3, 1.7
+        pts = rng.uniform(-r1, r1, size=(400_000, 2))
+        inside1 = (pts**2).sum(axis=1) <= r1**2
+        inside2 = ((pts[:, 0] - d) ** 2 + pts[:, 1] ** 2) <= r2**2
+        est = (inside1 & inside2).mean() * (2 * r1) ** 2
+        assert intersection_area(r1, r2, d) == pytest.approx(est, rel=0.02)
+
+
+class TestVectorization:
+    def test_array_inputs(self):
+        d = np.array([0.0, 1.0, 2.5])
+        out = intersection_area(1.0, 1.0, d)
+        assert out.shape == (3,)
+        assert out[0] == pytest.approx(np.pi)
+        assert out[2] == 0.0
+
+    def test_scalar_returns_scalar(self):
+        assert isinstance(intersection_area(1.0, 1.0, 0.5), float)
+
+    def test_broadcasting(self):
+        out = intersection_area(np.array([[1.0], [2.0]]), 1.0, np.array([0.5, 1.0]))
+        assert out.shape == (2, 2)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            intersection_area(-1.0, 1.0, 0.5)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            intersection_area(1.0, 1.0, -0.1)
+
+
+class TestProperties:
+    @given(r1=radii, r2=radii, d=dists)
+    @settings(max_examples=200, deadline=None)
+    def test_bounded_by_smaller_disk(self, r1, r2, d):
+        area = intersection_area(r1, r2, d)
+        assert -1e-9 <= area <= np.pi * min(r1, r2) ** 2 + 1e-9
+
+    @given(r1=radii, r2=radii, d=dists)
+    @settings(max_examples=200, deadline=None)
+    def test_symmetric_in_radii(self, r1, r2, d):
+        assert intersection_area(r1, r2, d) == pytest.approx(
+            intersection_area(r2, r1, d), rel=1e-9, abs=1e-12
+        )
+
+    @given(r1=radii, r2=radii)
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_decreasing_in_distance(self, r1, r2):
+        ds = np.linspace(0.0, r1 + r2 + 1.0, 40)
+        areas = intersection_area(r1, r2, ds)
+        assert np.all(np.diff(areas) <= 1e-9)
+
+    @given(r1=radii, r2=radii, d=dists, scale=st.floats(min_value=0.1, max_value=10))
+    @settings(max_examples=100, deadline=None)
+    def test_scales_quadratically(self, r1, r2, d, scale):
+        a = intersection_area(r1, r2, d)
+        b = intersection_area(r1 * scale, r2 * scale, d * scale)
+        # rel 1e-4: near tangency with extreme radius ratios the arccos
+        # form loses ~half the mantissa; exact scaling is not expected.
+        assert b == pytest.approx(a * scale**2, rel=1e-4, abs=1e-9)
+
+
+class TestPaperParameterization:
+    def test_paper_f_matches_center_distance_form(self):
+        # x is distance from L2's center to L1's border: d = D1 + x.
+        assert paper_f(2.0, 1.0, 0.5) == pytest.approx(
+            intersection_area(2.0, 1.0, 2.5)
+        )
+
+    def test_negative_x_inside(self):
+        # center of L2 inside L1 by 0.5.
+        assert paper_f(2.0, 1.0, -0.5) == pytest.approx(
+            intersection_area(2.0, 1.0, 1.5)
+        )
+
+    def test_lens_area_agrees_in_proper_regime(self):
+        r1, r2, d = 2.0, 1.5, 2.2
+        assert lens_area(r1, r2, d) == pytest.approx(
+            intersection_area(r1, r2, d), rel=1e-12
+        )

@@ -1,0 +1,159 @@
+"""Ring partition: the paper's A(x, k) and B(x, k) area families."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.rings import RingPartition
+from repro.geometry.sampling import sample_disk
+
+
+@pytest.fixture
+def part():
+    return RingPartition(n_rings=5, radius=1.0)
+
+
+class TestBasics:
+    def test_ring_areas_formula(self, part):
+        # C_k = pi r^2 (2k - 1)
+        for k in range(1, 6):
+            assert part.ring_area(k) == pytest.approx(np.pi * (2 * k - 1))
+
+    def test_ring_areas_sum_to_field(self, part):
+        assert part.ring_areas.sum() == pytest.approx(part.field_area)
+
+    def test_ring_area_out_of_range(self, part):
+        with pytest.raises(ValueError):
+            part.ring_area(0)
+        with pytest.raises(ValueError):
+            part.ring_area(6)
+
+    def test_ring_of(self, part):
+        assert part.ring_of(0.0) == 1
+        assert part.ring_of(0.5) == 1
+        assert part.ring_of(1.0) == 1
+        assert part.ring_of(1.0001) == 2
+        assert part.ring_of(4.7) == 5
+
+    def test_ring_of_vectorized(self, part):
+        out = part.ring_of(np.array([0.2, 2.5, 4.99]))
+        assert list(out) == [1, 3, 5]
+
+    def test_ring_of_outside_field(self, part):
+        with pytest.raises(ValueError):
+            part.ring_of(5.5)
+
+    def test_non_unit_radius(self):
+        p = RingPartition(3, radius=2.0)
+        assert p.field_radius == 6.0
+        assert p.ring_area(2) == pytest.approx(np.pi * 4.0 * 3)
+
+
+class TestTransmissionAreas:
+    def test_partition_of_disk_interior_rings(self, part):
+        x = np.linspace(0.0, 1.0, 9)
+        for j in range(1, 5):  # j = 5 loses area outside the field
+            A = part.transmission_areas(j, x)
+            assert A.shape == (9, 3)
+            assert np.all(A >= -1e-12)
+            np.testing.assert_allclose(A.sum(axis=-1), np.pi, atol=1e-9)
+
+    def test_outermost_ring_loses_outside_area(self, part):
+        A = part.transmission_areas(5, np.array([0.9]))
+        assert A.sum() < np.pi  # part of the disk hangs outside the field
+
+    def test_inner_ring_has_no_ring_zero(self, part):
+        A = part.transmission_areas(1, np.array([0.0, 0.5, 1.0]))
+        np.testing.assert_allclose(A[:, 0], 0.0, atol=1e-12)
+
+    def test_center_of_field_covered_by_ring_one(self, part):
+        # A node at the exact center: its whole disk is ring 1.
+        A = part.transmission_areas(1, np.array([0.0]))
+        assert A[0, 1] == pytest.approx(np.pi)
+
+    def test_monte_carlo_agreement(self, part, rng):
+        # Validate A(x, k) against sampling for a node in ring 3.
+        j, x = 3, 0.37
+        radial = (j - 1) + x
+        pts = sample_disk(200_000, 1.0, rng, center=(radial, 0.0))
+        dist = np.hypot(pts[:, 0], pts[:, 1])
+        A = part.transmission_areas(j, np.array([x]))[0]
+        for offset, k in enumerate((j - 1, j, j + 1)):
+            frac = ((dist > k - 1) & (dist <= k)).mean()
+            assert A[offset] == pytest.approx(frac * np.pi, abs=0.02)
+
+    def test_x_out_of_bounds(self, part):
+        with pytest.raises(ValueError):
+            part.transmission_areas(2, np.array([1.5]))
+
+    def test_bad_ring_index(self, part):
+        with pytest.raises(ValueError):
+            part.transmission_areas(0, np.array([0.5]))
+
+
+class TestCarrierAreas:
+    def test_full_coverage_with_transmission_areas(self, part):
+        # For a deep-interior node, A-window + B-window tile the 2r disk.
+        x = np.linspace(0.0, 1.0, 5)
+        B = part.carrier_areas(3, x)
+        A = part.transmission_areas(3, x)
+        total = B.sum(axis=-1) + A.sum(axis=-1)
+        np.testing.assert_allclose(total, np.pi * 4.0, atol=1e-9)
+
+    def test_window_indices(self, part):
+        assert part.carrier_window(3) == [1, 2, 3, 4, 5]
+
+    def test_custom_carrier_radius(self, part):
+        B15 = part.carrier_areas(3, np.array([0.5]), carrier_radius=1.5)
+        A = part.transmission_areas(3, np.array([0.5]))
+        assert B15.sum() + A.sum() == pytest.approx(np.pi * 1.5**2, abs=1e-9)
+
+    def test_carrier_radius_below_transmission_rejected(self, part):
+        with pytest.raises(ValueError):
+            part.carrier_areas(3, np.array([0.5]), carrier_radius=0.5)
+
+    def test_annulus_excludes_transmission_disk(self, part, rng):
+        # Monte-Carlo: B counts only the annulus r < d <= 2r.
+        j, x = 2, 0.6
+        radial = (j - 1) + x
+        pts = sample_disk(200_000, 2.0, rng, center=(radial, 0.0))
+        d_from_node = np.hypot(pts[:, 0] - radial, pts[:, 1])
+        d_from_origin = np.hypot(pts[:, 0], pts[:, 1])
+        B = part.carrier_areas(j, np.array([x]))[0]
+        window = part.carrier_window(j)
+        for offset, k in enumerate(window):
+            if k < 1 or k > part.n_rings:
+                continue
+            frac = (
+                (d_from_node > 1.0)
+                & (d_from_origin > k - 1)
+                & (d_from_origin <= k)
+            ).mean()
+            assert B[offset] == pytest.approx(frac * np.pi * 4.0, abs=0.05)
+
+
+class TestProperties:
+    @given(
+        j=st.integers(min_value=1, max_value=5),
+        x=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_areas_nonnegative_and_bounded(self, j, x):
+        part = RingPartition(5)
+        A = part.transmission_areas(j, np.array([x]))
+        assert np.all(A >= -1e-12)
+        # abs tol 1e-6: lens-area round-off near tangencies.
+        assert A.sum() <= np.pi + 1e-6
+
+    @given(
+        j=st.integers(min_value=1, max_value=4),
+        x=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_interior_partition_exact(self, j, x):
+        part = RingPartition(6)
+        A = part.transmission_areas(j, np.array([x]))
+        # abs tol 1e-6: near circle tangencies the lens formula loses
+        # ~sqrt(eps) digits through arccos at its endpoints.
+        assert A.sum() == pytest.approx(np.pi, abs=1e-6)

@@ -1,0 +1,70 @@
+"""Spatial samplers: support bounds and uniformity."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.geometry.sampling import sample_annulus, sample_disk, sample_ring_offsets
+
+
+class TestSampleDisk:
+    def test_shape_and_support(self, rng):
+        pts = sample_disk(5000, 3.0, rng)
+        assert pts.shape == (5000, 2)
+        assert np.all(np.hypot(pts[:, 0], pts[:, 1]) <= 3.0)
+
+    def test_zero_points(self, rng):
+        assert sample_disk(0, 1.0, rng).shape == (0, 2)
+
+    def test_center_offset(self, rng):
+        pts = sample_disk(2000, 1.0, rng, center=(10.0, -5.0))
+        assert np.all(np.hypot(pts[:, 0] - 10.0, pts[:, 1] + 5.0) <= 1.0)
+
+    def test_radial_uniformity(self, rng):
+        # r^2 / R^2 must be Uniform(0, 1) for an area-uniform sample.
+        pts = sample_disk(20000, 2.0, rng)
+        u = (pts**2).sum(axis=1) / 4.0
+        assert stats.kstest(u, "uniform").pvalue > 1e-3
+
+    def test_angular_uniformity(self, rng):
+        pts = sample_disk(20000, 1.0, rng)
+        theta = (np.arctan2(pts[:, 1], pts[:, 0]) + np.pi) / (2 * np.pi)
+        assert stats.kstest(theta, "uniform").pvalue > 1e-3
+
+    def test_invalid_radius(self, rng):
+        with pytest.raises(Exception):
+            sample_disk(10, -1.0, rng)
+
+
+class TestSampleAnnulus:
+    def test_support(self, rng):
+        pts = sample_annulus(5000, 1.0, 2.0, rng)
+        d = np.hypot(pts[:, 0], pts[:, 1])
+        assert np.all(d >= 1.0) and np.all(d <= 2.0)
+
+    def test_area_uniform(self, rng):
+        pts = sample_annulus(20000, 1.0, 3.0, rng)
+        u = ((pts**2).sum(axis=1) - 1.0) / (9.0 - 1.0)
+        assert stats.kstest(u, "uniform").pvalue > 1e-3
+
+    def test_degenerate_interval_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sample_annulus(10, 2.0, 2.0, rng)
+
+
+class TestRingOffsets:
+    def test_support(self, rng):
+        x = sample_ring_offsets(1000, ring=3, width=1.0, rng=rng)
+        assert np.all((x >= 0) & (x <= 1.0))
+
+    def test_density_proportional_to_radius(self, rng):
+        # In ring j, offsets weight like (j-1) + x; check the mean.
+        x = sample_ring_offsets(100_000, ring=4, width=1.0, rng=rng)
+        # E[x] = ∫ x (3 + x) dx / ∫ (3 + x) dx over [0,1] = (3/2+1/3)/(3+1/2)
+        expected = (1.5 + 1.0 / 3.0) / 3.5
+        assert x.mean() == pytest.approx(expected, abs=0.01)
+
+    def test_ring_one_is_sqrt_law(self, rng):
+        x = sample_ring_offsets(100_000, ring=1, width=1.0, rng=rng)
+        # density ∝ x on [0, 1] → E[x] = 2/3
+        assert x.mean() == pytest.approx(2.0 / 3.0, abs=0.01)

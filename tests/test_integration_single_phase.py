@@ -1,0 +1,102 @@
+"""Single-phase validation of Eq. (4): analysis vs direct Monte Carlo.
+
+The figure-level comparisons accumulate modeling error over many
+phases; this test isolates *one* phase transition.  Given an informed
+population matching the recursion's state after phase 1 (ring 1 full,
+everyone else uninformed), the expected number of newly informed nodes
+per ring in phase 2 is computed two ways:
+
+* analytically — one step of :class:`RingModel` (exactly Eq. 3-4);
+* empirically — many Poisson deployments where ring-1 nodes transmit
+  with probability ``p`` into random slots, resolved by the CAM channel.
+
+The phase-1 state is the one configuration where the recursion's
+within-ring-uniformity assumption holds *exactly* (the informed set is
+all of ring 1), so analysis and simulation must agree up to Monte-Carlo
+error and the real-K-extension approximation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.ring_model import RingModel
+from repro.models.cam import CollisionAwareChannel
+from repro.network.deployment import DiskDeployment
+
+
+def simulate_phase_two(cfg: AnalysisConfig, p: float, seed: int, reps: int):
+    """Mean newly-informed-per-ring during phase 2, by direct simulation."""
+    root = np.random.SeedSequence(seed)
+    totals = np.zeros(cfg.n_rings)
+    for child in root.spawn(reps):
+        rng = np.random.default_rng(child)
+        dep = DiskDeployment.sample(
+            rho=cfg.rho, n_rings=cfg.n_rings, rng=rng, population="poisson"
+        )
+        topo = dep.topology()
+        channel = CollisionAwareChannel(topo)
+        rings = dep.ring_indices()
+        informed = rings == 1  # the state after phase 1 (source's disk)
+        informed[dep.source] = True
+        candidates = np.flatnonzero(informed)
+        candidates = candidates[candidates != dep.source]
+        will = rng.random(len(candidates)) < p
+        tx_nodes = candidates[will]
+        slots = rng.integers(0, cfg.slots, size=len(tx_nodes))
+        newly = np.zeros(topo.n_nodes, dtype=bool)
+        for t in range(cfg.slots):
+            d = channel.resolve_slot(tx_nodes[slots == t])
+            fresh = d.receivers[~informed[d.receivers] & ~newly[d.receivers]]
+            newly[fresh] = True
+        totals += np.bincount(rings[newly], minlength=cfg.n_rings + 1)[1:]
+    return totals / reps
+
+
+@pytest.mark.parametrize("p", [0.1, 0.3, 0.8])
+def test_phase_two_poisson_method_is_exact(p):
+    """With the Poisson real-K extension, one step of Eq. (4) matches
+    direct simulation to Monte-Carlo noise (<5% here, ~0.5% at high
+    rep counts): transmitter counts in a Poisson field ARE Poisson, so
+    the mixture model is the exact per-node reception probability."""
+    cfg = AnalysisConfig(n_rings=3, rho=25, quad_nodes=64, mu_method="poisson")
+    trace = RingModel(cfg).run(p, max_phases=2)
+    predicted = trace.new_by_phase_ring[1]
+
+    measured = simulate_phase_two(cfg, p, seed=int(p * 1000), reps=120)
+
+    # Ring 1 is fully informed, so phase 2 adds nothing there.
+    assert predicted[0] == pytest.approx(0.0, abs=1e-9)
+    assert measured[0] == pytest.approx(0.0, abs=1e-9)
+    # Ring 2 gets the bulk; exact model => only MC noise remains
+    # (the per-run arrival count is noisy at small p, hence 6%/120 reps).
+    assert measured[1] == pytest.approx(predicted[1], rel=0.06)
+    # Ring 3 is out of range of ring 1: both ~0.
+    assert predicted[2] == pytest.approx(0.0, abs=1e-9)
+    assert measured[2] == pytest.approx(0.0, abs=1e-9)
+
+
+@pytest.mark.parametrize("p", [0.1, 0.3])
+def test_phase_two_interpolation_overpredicts(p):
+    """The paper's plug-the-expectation convention, mu(E[K], s), is
+    optimistic by Jensen's inequality (mu is concave over the relevant
+    range): 15-30% at one phase here.  This single-phase bias is the
+    root of the analysis-vs-simulation plateau gap (paper: 0.72 vs
+    0.63; ours: 0.836 vs 0.62) — see docs/theory.md section 6."""
+    cfg = AnalysisConfig(n_rings=3, rho=25, quad_nodes=64)
+    predicted = RingModel(cfg).run(p, max_phases=2).new_by_phase_ring[1]
+    measured = simulate_phase_two(cfg, p, seed=int(p * 1000), reps=60)
+    assert predicted[1] > measured[1] * 1.05  # systematically optimistic
+    assert predicted[1] < measured[1] * 1.6  # but in the right ballpark
+
+
+def test_phase_two_scaling_with_p():
+    """The single-phase transition inherits the bell shape: mid p beats
+    both extremes at high contention."""
+    cfg = AnalysisConfig(n_rings=3, rho=60, quad_nodes=64)
+    gains = {
+        p: RingModel(cfg).run(p, max_phases=2).new_by_phase_ring[1].sum()
+        for p in (0.02, 0.2, 1.0)
+    }
+    assert gains[0.2] > gains[0.02]
+    assert gains[0.2] > gains[1.0]

@@ -1,0 +1,106 @@
+"""Property tests: the CAM channel vs a brute-force reference resolver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.cam import CollisionAwareChannel
+from repro.models.cfm import CollisionFreeChannel
+from repro.network.topology import Topology
+
+
+def brute_force_cam(positions, radius, transmitters, carrier_radius=None):
+    """Assumption 6 applied literally, one receiver at a time."""
+    tx = sorted(set(int(t) for t in transmitters))
+    receivers, senders, collided = [], [], []
+    for v in range(len(positions)):
+        in_range = [
+            t
+            for t in tx
+            if t != v and np.hypot(*(positions[v] - positions[t])) <= radius
+        ]
+        audible = in_range
+        if carrier_radius is not None:
+            audible = [
+                t
+                for t in tx
+                if t != v
+                and np.hypot(*(positions[v] - positions[t])) <= carrier_radius
+            ]
+        if len(in_range) == 1 and len(audible) == 1:
+            receivers.append(v)
+            senders.append(in_range[0])
+        elif len(in_range) >= 2:
+            collided.append(v)
+    return receivers, senders, collided
+
+
+@st.composite
+def slot_scenarios(draw):
+    n = draw(st.integers(min_value=2, max_value=30))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    positions = rng.uniform(-3.0, 3.0, size=(n, 2))
+    k = draw(st.integers(min_value=0, max_value=n))
+    transmitters = rng.choice(n, size=k, replace=False)
+    return positions, transmitters
+
+
+class TestAgainstBruteForce:
+    @given(scenario=slot_scenarios())
+    @settings(max_examples=60, deadline=None)
+    def test_transmission_range_semantics(self, scenario):
+        positions, transmitters = scenario
+        topo = Topology(positions, radius=1.0)
+        channel = CollisionAwareChannel(topo)
+        d = channel.resolve_slot(transmitters)
+        exp_r, exp_s, exp_c = brute_force_cam(positions, 1.0, transmitters)
+        assert list(d.receivers) == exp_r
+        assert list(d.senders) == exp_s
+        assert list(d.collided) == exp_c
+
+    @given(scenario=slot_scenarios())
+    @settings(max_examples=40, deadline=None)
+    def test_carrier_sense_semantics(self, scenario):
+        positions, transmitters = scenario
+        topo = Topology(positions, radius=1.0, carrier_radius=2.0)
+        channel = CollisionAwareChannel(topo, carrier_sense=True)
+        d = channel.resolve_slot(transmitters)
+        exp_r, exp_s, _ = brute_force_cam(
+            positions, 1.0, transmitters, carrier_radius=2.0
+        )
+        assert list(d.receivers) == exp_r
+        assert list(d.senders) == exp_s
+
+    @given(scenario=slot_scenarios())
+    @settings(max_examples=40, deadline=None)
+    def test_cam_receivers_subset_of_cfm(self, scenario):
+        positions, transmitters = scenario
+        topo = Topology(positions, radius=1.0)
+        cam = CollisionAwareChannel(topo).resolve_slot(transmitters)
+        cfm = CollisionFreeChannel(topo).resolve_slot(transmitters)
+        assert set(cam.receivers.tolist()) <= set(cfm.receivers.tolist())
+
+    @given(scenario=slot_scenarios())
+    @settings(max_examples=40, deadline=None)
+    def test_carrier_sense_only_removes_receivers(self, scenario):
+        positions, transmitters = scenario
+        plain_topo = Topology(positions, radius=1.0)
+        cs_topo = Topology(positions, radius=1.0, carrier_radius=2.0)
+        plain = CollisionAwareChannel(plain_topo).resolve_slot(transmitters)
+        cs = CollisionAwareChannel(cs_topo, carrier_sense=True).resolve_slot(
+            transmitters
+        )
+        assert set(cs.receivers.tolist()) <= set(plain.receivers.tolist())
+
+    @given(scenario=slot_scenarios())
+    @settings(max_examples=40, deadline=None)
+    def test_senders_are_transmitters_in_range(self, scenario):
+        positions, transmitters = scenario
+        topo = Topology(positions, radius=1.0)
+        d = CollisionAwareChannel(topo).resolve_slot(transmitters)
+        tx = set(int(t) for t in transmitters)
+        for r, s in zip(d.receivers.tolist(), d.senders.tolist()):
+            assert s in tx
+            assert np.hypot(*(positions[r] - positions[s])) <= 1.0

@@ -1,0 +1,70 @@
+"""Cost model and energy ledger accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models.costs import CostModel, EnergyLedger
+
+
+class TestCostModel:
+    def test_defaults(self):
+        cm = CostModel()
+        assert cm.time == 1.0 and cm.energy == 1.0
+
+    def test_presets(self):
+        assert CostModel.cfm(time=2.0).time == 2.0
+        assert CostModel.cam(energy=0.5).energy == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CostModel(time=0.0)
+        with pytest.raises(ConfigurationError):
+            CostModel(energy=-1.0)
+
+
+class TestEnergyLedger:
+    def test_counts(self):
+        led = EnergyLedger(5)
+        led.record_tx([0, 2])
+        led.record_tx([2])
+        led.record_rx([1, 3, 4])
+        assert led.total_tx == 3
+        assert led.total_rx == 3
+        np.testing.assert_array_equal(led.tx_counts, [1, 0, 2, 0, 0])
+        np.testing.assert_array_equal(led.rx_counts, [0, 1, 0, 1, 1])
+
+    def test_views_read_only(self):
+        led = EnergyLedger(2)
+        with pytest.raises(ValueError):
+            led.tx_counts[0] = 5
+
+    def test_energy_conversion(self):
+        led = EnergyLedger(3, CostModel(energy=2.0))
+        led.record_tx([0])
+        led.record_rx([1, 2])
+        np.testing.assert_allclose(led.node_energy(), [2.0, 2.0, 2.0])
+        assert led.total_energy() == 6.0
+
+    def test_recost_without_rerun(self):
+        led = EnergyLedger(2)
+        led.record_tx([0])
+        assert led.total_energy(CostModel(energy=5.0)) == 5.0
+        assert led.total_energy() == 1.0  # original cost model untouched
+
+    def test_merge(self):
+        a, b = EnergyLedger(3), EnergyLedger(3)
+        a.record_tx([0])
+        b.record_tx([0])
+        b.record_rx([2])
+        merged = a.merge(b)
+        assert merged.total_tx == 2 and merged.total_rx == 1
+
+    def test_merge_size_mismatch(self):
+        with pytest.raises(ValueError):
+            EnergyLedger(2).merge(EnergyLedger(3))
+
+    def test_empty_arrays_ok(self):
+        led = EnergyLedger(2)
+        led.record_tx(np.array([], dtype=int))
+        assert led.total_tx == 0

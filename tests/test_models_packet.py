@@ -1,0 +1,31 @@
+"""Packet records."""
+
+from repro.models.packet import Packet
+
+
+class TestPacket:
+    def test_unique_uids(self):
+        a, b = Packet(origin=0, sender=0), Packet(origin=0, sender=0)
+        assert a.uid != b.uid
+
+    def test_relay_preserves_information_identity(self):
+        root = Packet(origin=0, sender=0, payload="query-17")
+        relay = root.relayed_by(5)
+        assert relay.key == root.key
+        assert relay.sender == 5
+        assert relay.origin == 0
+
+    def test_relay_increments_hops(self):
+        root = Packet(origin=0, sender=0)
+        assert root.relayed_by(1).relayed_by(2).hops == 2
+
+    def test_key_distinguishes_kinds(self):
+        a = Packet(origin=0, sender=0, kind="broadcast")
+        b = Packet(origin=0, sender=0, kind="ack")
+        assert a.key != b.key
+
+    def test_frozen(self):
+        import pytest
+
+        with pytest.raises(AttributeError):
+            Packet(origin=0, sender=0).sender = 3

@@ -1,0 +1,110 @@
+"""TDMA slot assignment: coloring validity and collision-free flooding."""
+
+import numpy as np
+import pytest
+
+from repro.models.tdma import (
+    TdmaSchedule,
+    distance2_coloring,
+    run_tdma_flooding,
+)
+from repro.network.deployment import DiskDeployment
+from repro.network.topology import Topology
+
+
+def line_deployment(n=6, spacing=0.9):
+    pos = np.array([[i * spacing, 0.0] for i in range(n)])
+    return DiskDeployment(positions=pos, radius=1.0, n_rings=6)
+
+
+class TestColoring:
+    def test_valid_on_random_deployments(self, rng):
+        dep = DiskDeployment.sample(rho=15, n_rings=3, rng=rng)
+        topo = dep.topology()
+        sched = TdmaSchedule.build(topo)
+        assert sched.is_valid(topo)
+
+    def test_line_needs_three_colors(self):
+        topo = line_deployment().topology()
+        colors = distance2_coloring(topo)
+        # On a path, distance-2 coloring needs exactly 3 colors.
+        assert colors.max() + 1 == 3
+
+    def test_color_count_scales_with_density(self):
+        counts = []
+        for rho in (8, 25):
+            dep = DiskDeployment.sample(
+                rho=rho, n_rings=3, rng=np.random.default_rng(0)
+            )
+            counts.append(TdmaSchedule.build(dep.topology()).n_slots)
+        assert counts[1] > counts[0]
+
+    def test_color_count_at_least_max_two_hop_clique(self, rng):
+        dep = DiskDeployment.sample(rho=12, n_rings=2, rng=rng)
+        topo = dep.topology()
+        sched = TdmaSchedule.build(topo)
+        # Lower bound: a node and its neighbors are pairwise within 2 hops.
+        assert sched.n_slots >= topo.degrees.max() + 1
+
+    def test_invalid_schedule_detected(self):
+        topo = line_deployment().topology()
+        bad = TdmaSchedule(slots=np.zeros(topo.n_nodes, dtype=np.int64), n_slots=1)
+        assert not bad.is_valid(topo)
+
+    def test_isolated_nodes_colored(self):
+        pos = np.array([[0.0, 0.0], [0.9, 0.0], [3.0, 0.0]])
+        topo = Topology(pos, radius=1.0)
+        colors = distance2_coloring(topo)
+        assert np.all(colors >= 0)
+
+
+class TestTdmaFlooding:
+    def test_zero_collisions(self, rng):
+        dep = DiskDeployment.sample(rho=15, n_rings=3, rng=rng)
+        res = run_tdma_flooding(dep)
+        assert res.collisions == 0
+
+    def test_full_reachability_on_connected(self, rng):
+        dep = DiskDeployment.sample(rho=20, n_rings=3, rng=rng)
+        if not dep.topology().is_connected():
+            pytest.skip("rare disconnected draw")
+        res = run_tdma_flooding(dep)
+        assert res.reachability == 1.0
+
+    def test_each_node_broadcasts_once(self, rng):
+        dep = DiskDeployment.sample(rho=15, n_rings=3, rng=rng)
+        res = run_tdma_flooding(dep)
+        informed = int(round(res.reachability * dep.n_field_nodes))
+        assert res.broadcasts == informed + 1  # + the source
+
+    def test_line_latency(self):
+        dep = line_deployment()
+        res = run_tdma_flooding(dep)
+        assert res.reachability == 1.0
+        assert res.frame_length == 3
+        # At least one slot per hop (5 hops); how many frames that takes
+        # depends on whether colors happen to ascend along the path.
+        assert res.latency_slots >= 5
+
+    def test_invalid_schedule_produces_collisions(self):
+        # Diamond: source 0 informs leaves 1 and 2 in frame 0; with
+        # everyone in slot 0, the leaves then transmit simultaneously and
+        # target 3 (in range of both, not of 0) hears only collisions.
+        pos = np.array([[0.0, 0.0], [-0.8, 0.5], [0.8, 0.5], [0.0, 1.2]])
+        dep = DiskDeployment(positions=pos, radius=1.0, n_rings=2)
+        topo = dep.topology()
+        bad = TdmaSchedule(slots=np.zeros(topo.n_nodes, dtype=np.int64), n_slots=1)
+        res = run_tdma_flooding(dep, schedule=bad)
+        assert res.collisions > 0
+        assert res.reachability < 1.0
+
+    def test_cfm_cost_tradeoff_visible(self):
+        """The CFM 'hidden cost': frame length (latency unit) grows with
+        density even though the broadcast count stays N+1."""
+        results = []
+        for rho in (8, 25):
+            dep = DiskDeployment.sample(
+                rho=rho, n_rings=3, rng=np.random.default_rng(1)
+            )
+            results.append(run_tdma_flooding(dep))
+        assert results[1].frame_length > results[0].frame_length

@@ -1,0 +1,84 @@
+"""Deployment statistics vs geometric-random-graph theory."""
+
+import numpy as np
+import pytest
+
+from repro.network.deployment import DiskDeployment
+from repro.network.stats import (
+    connectivity_probability,
+    deployment_stats,
+    expected_isolation_probability,
+)
+
+
+class TestDeploymentStats:
+    def test_basic_fields(self, rng):
+        dep = DiskDeployment.sample(rho=20, n_rings=3, rng=rng)
+        stats = deployment_stats(dep)
+        assert stats.n_nodes == dep.n_nodes
+        assert stats.min_degree <= stats.mean_degree <= stats.max_degree
+        assert 0.0 <= stats.isolated_fraction <= 1.0
+
+    def test_mean_degree_near_rho(self, rng):
+        dep = DiskDeployment.sample(rho=40, n_rings=5, rng=rng)
+        stats = deployment_stats(dep)
+        # Border effect bias: below nominal, but within 25%.
+        assert 0.75 * 40 < stats.mean_degree < 40
+
+    def test_dense_deployment_connected(self, rng):
+        dep = DiskDeployment.sample(rho=30, n_rings=3, rng=rng)
+        stats = deployment_stats(dep)
+        assert stats.connected
+        assert stats.source_component_fraction == 1.0
+        assert stats.isolated_fraction == 0.0
+
+    def test_reuses_supplied_topology(self, rng):
+        dep = DiskDeployment.sample(rho=15, n_rings=2, rng=rng)
+        topo = dep.topology()
+        stats = deployment_stats(dep, topo)
+        assert stats.n_edges == topo.n_edges
+
+
+class TestIsolationTheory:
+    def test_formula(self):
+        assert expected_isolation_probability(5.0) == pytest.approx(np.exp(-5.0))
+
+    def test_sampled_isolation_matches_poisson_theory(self):
+        """At low density the empirical isolated fraction tracks exp(-rho)
+        (a bit above it, because rim nodes see less area)."""
+        rho = 2.0
+        fracs = []
+        for s in range(20):
+            dep = DiskDeployment.sample(
+                rho=rho,
+                n_rings=4,
+                rng=np.random.default_rng(s),
+                population="poisson",
+            )
+            fracs.append(deployment_stats(dep).isolated_fraction)
+        empirical = float(np.mean(fracs))
+        theory = expected_isolation_probability(rho)
+        assert empirical == pytest.approx(theory, rel=0.6)
+        assert empirical >= theory * 0.8
+
+    def test_invalid_rho(self):
+        with pytest.raises(Exception):
+            expected_isolation_probability(0.0)
+
+
+class TestConnectivityProbability:
+    def test_paper_densities_connected(self):
+        assert connectivity_probability(rho=25, n_rings=3, trials=8) == 1.0
+
+    def test_sparse_networks_disconnect(self):
+        assert connectivity_probability(rho=2, n_rings=3, trials=8) < 0.5
+
+    def test_monotone_between_extremes(self):
+        lo = connectivity_probability(rho=3, n_rings=3, trials=12, seed=1)
+        hi = connectivity_probability(rho=15, n_rings=3, trials=12, seed=1)
+        assert hi >= lo
+
+    def test_reproducible(self):
+        a = connectivity_probability(rho=6, n_rings=3, trials=10, seed=4)
+        b = connectivity_probability(rho=6, n_rings=3, trials=10, seed=4)
+        assert a == b

@@ -1,0 +1,92 @@
+"""Convergecast data gathering: tree, custody transfer, contention control."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.config import AnalysisConfig
+from repro.network.deployment import DiskDeployment
+from repro.protocols.convergecast import run_convergecast
+from repro.sim.config import SimulationConfig
+
+
+@pytest.fixture
+def cfg():
+    return SimulationConfig(analysis=AnalysisConfig(n_rings=3, rho=12))
+
+
+def line_deployment(n=5, spacing=0.9):
+    pos = np.array([[i * spacing, 0.0] for i in range(n)])
+    return DiskDeployment(positions=pos, radius=1.0, n_rings=5)
+
+
+class TestLineGathering:
+    def test_all_reports_delivered(self, cfg):
+        res = run_convergecast(cfg, 0, deployment=line_deployment())
+        assert res.generated == 4
+        assert res.delivered == 4
+        assert res.delivery_ratio == 1.0
+
+    def test_transmission_count_at_least_hop_sum(self, cfg):
+        # Report from hop-depth d needs >= d transmissions.
+        res = run_convergecast(cfg, 0, deployment=line_deployment())
+        assert res.transmissions >= 1 + 2 + 3 + 4
+
+    def test_tree_depth(self, cfg):
+        res = run_convergecast(cfg, 0, deployment=line_deployment())
+        assert res.tree_depth == 4
+
+    def test_parents_form_tree_toward_source(self, cfg):
+        res = run_convergecast(cfg, 0, deployment=line_deployment())
+        assert list(res.parents) == [-1, 0, 1, 2, 3]
+
+
+class TestRandomDeployments:
+    def test_full_delivery_with_auto_thinning(self, cfg):
+        res = run_convergecast(cfg, 5)
+        assert res.delivery_ratio == 1.0
+
+    def test_deterministic(self, cfg):
+        a = run_convergecast(cfg, 9)
+        b = run_convergecast(cfg, 9)
+        assert a.transmissions == b.transmissions
+        assert a.phases == b.phases
+
+    def test_saturated_contention_livelocks(self):
+        """q = 1 is the unicast broadcast storm: above ~s slots' worth of
+        contenders per neighborhood, almost every report strands."""
+        dense = SimulationConfig(analysis=AnalysisConfig(n_rings=3, rho=20))
+        res = run_convergecast(
+            dense, 5, tx_probability=1.0, max_phases=300, max_attempts_per_hop=60
+        )
+        assert res.delivery_ratio < 0.3
+
+    def test_thinning_beats_saturation_in_cost_per_report(self):
+        dense = SimulationConfig(analysis=AnalysisConfig(n_rings=3, rho=20))
+        auto = run_convergecast(dense, 5)
+        sat = run_convergecast(
+            dense, 5, tx_probability=1.0, max_phases=300, max_attempts_per_hop=60
+        )
+        assert (auto.transmissions / max(auto.delivered, 1)) < (
+            sat.transmissions / max(sat.delivered, 1)
+        )
+
+    def test_disconnected_nodes_generate_nothing(self, cfg):
+        pos = np.array([[0.0, 0.0], [0.9, 0.0], [2.8, 0.0]])  # node 2 isolated
+        dep = DiskDeployment(positions=pos, radius=1.0, n_rings=3)
+        res = run_convergecast(cfg, 0, deployment=dep)
+        assert res.generated == 1
+        assert res.delivered == 1
+
+    def test_invalid_tx_probability(self, cfg):
+        with pytest.raises(Exception):
+            run_convergecast(cfg, 0, tx_probability=0.0)
+
+    def test_carrier_sense_costs_more(self):
+        acfg = AnalysisConfig(n_rings=3, rho=12)
+        base = run_convergecast(SimulationConfig(analysis=acfg), 7)
+        cs = run_convergecast(
+            SimulationConfig(analysis=acfg, carrier_sense=True), 7
+        )
+        # Same delivery contract, more contention to fight through.
+        assert cs.delivery_ratio == 1.0
+        assert cs.transmissions >= base.transmissions

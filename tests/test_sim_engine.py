@@ -1,0 +1,174 @@
+"""The vectorized slot-synchronous engine."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.config import AnalysisConfig
+from repro.errors import ProtocolError
+from repro.network.deployment import DiskDeployment
+from repro.protocols.base import RelayPolicy
+from repro.protocols.pbcast import ProbabilisticRelay, SimpleFlooding
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import run_broadcast
+
+
+@pytest.fixture
+def cfg():
+    return SimulationConfig(analysis=AnalysisConfig(n_rings=3, rho=20))
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self, cfg):
+        a = run_broadcast(ProbabilisticRelay(0.4), cfg, 77)
+        b = run_broadcast(ProbabilisticRelay(0.4), cfg, 77)
+        np.testing.assert_array_equal(a.new_informed_by_slot, b.new_informed_by_slot)
+        np.testing.assert_array_equal(a.broadcasts_by_slot, b.broadcasts_by_slot)
+        assert a.collisions == b.collisions
+
+    def test_different_seeds_differ(self, cfg):
+        a = run_broadcast(ProbabilisticRelay(0.4), cfg, 1)
+        b = run_broadcast(ProbabilisticRelay(0.4), cfg, 2)
+        assert (
+            a.broadcasts_total != b.broadcasts_total
+            or a.reachability != b.reachability
+        )
+
+    def test_seed_recorded(self, cfg):
+        assert run_broadcast(SimpleFlooding(), cfg, 42).seed_entropy == 42
+
+
+class TestCfmFlooding:
+    def test_reaches_every_connected_node(self, cfg, rng):
+        sim_cfg = cfg.with_(channel="cfm")
+        dep = DiskDeployment.sample(rho=20, n_rings=3, rng=rng)
+        res = run_broadcast(SimpleFlooding(), sim_cfg, 3, deployment=dep)
+        reachable = dep.topology().reachable_from(dep.source)
+        expected = (reachable.sum() - 1) / dep.n_field_nodes
+        assert res.reachability == pytest.approx(expected)
+
+    def test_every_informed_node_broadcasts_once(self, cfg, rng):
+        sim_cfg = cfg.with_(channel="cfm")
+        res = run_broadcast(SimpleFlooding(), sim_cfg, 4)
+        informed = int(res.new_informed_by_slot.sum())
+        assert res.broadcasts_total == informed + 1  # plus the source
+
+    def test_no_collisions_under_cfm(self, cfg):
+        res = run_broadcast(SimpleFlooding(), cfg.with_(channel="cfm"), 5)
+        assert res.collisions == 0
+
+
+class TestCamSemantics:
+    def test_collisions_happen_in_flooding(self, cfg):
+        res = run_broadcast(SimpleFlooding(), cfg, 6)
+        assert res.collisions > 0
+
+    def test_receptions_at_most_one_per_slot_per_node(self, cfg):
+        res = run_broadcast(SimpleFlooding(), cfg, 8)
+        # Total successful receptions cannot exceed nodes * slots.
+        n_slots = len(res.new_informed_by_slot)
+        assert res.total_rx <= (res.n_field_nodes + 1) * n_slots
+
+    def test_energy_ledger_consistent(self, cfg):
+        res = run_broadcast(ProbabilisticRelay(0.5), cfg, 9)
+        assert res.total_tx == res.broadcasts_total
+
+    def test_carrier_sense_reduces_reachability_within_budget(self):
+        base_cfg = SimulationConfig(analysis=AnalysisConfig(n_rings=3, rho=40))
+        cs_cfg = base_cfg.with_(carrier_sense=True)
+        base = np.mean(
+            [
+                run_broadcast(ProbabilisticRelay(0.5), base_cfg, s).reachability_after_phases(4)
+                for s in range(6)
+            ]
+        )
+        cs = np.mean(
+            [
+                run_broadcast(ProbabilisticRelay(0.5), cs_cfg, s).reachability_after_phases(4)
+                for s in range(6)
+            ]
+        )
+        assert cs < base
+
+    def test_half_duplex_changes_outcome(self, cfg):
+        a = run_broadcast(SimpleFlooding(), cfg, 10)
+        b = run_broadcast(SimpleFlooding(), cfg.with_(half_duplex=True), 10)
+        # Same seed, same deployment/choices; half-duplex removes some
+        # receptions so the totals must not increase.
+        assert b.total_rx <= a.total_rx
+
+
+class TestTraceConsistency:
+    def test_trace_matches_slot_series(self, cfg):
+        res = run_broadcast(ProbabilisticRelay(0.3), cfg, 11)
+        assert res.trace.new_by_phase_ring.sum() == pytest.approx(
+            res.new_informed_by_slot.sum()
+        )
+        assert res.trace.broadcasts_by_phase.sum() == pytest.approx(
+            res.broadcasts_by_slot.sum()
+        )
+
+    def test_trace_denominator_is_realized_population(self, cfg):
+        res = run_broadcast(ProbabilisticRelay(0.3), cfg, 12)
+        assert res.trace.config.n_nodes == pytest.approx(res.n_field_nodes)
+
+    def test_reachability_metrics_agree(self, cfg):
+        res = run_broadcast(ProbabilisticRelay(0.3), cfg, 13)
+        # Phase-level trace metric equals slot-level at integer phases.
+        assert res.trace.reachability_after(2) == pytest.approx(
+            res.reachability_after_phases(2)
+        )
+
+    def test_p_zero_only_source(self, cfg):
+        res = run_broadcast(ProbabilisticRelay(0.0), cfg, 14)
+        assert res.broadcasts_total == 1
+        # Everyone in range of the source hears its (collision-free) slot.
+        assert res.new_informed_by_slot.sum() > 0
+
+    def test_informed_mask_consistent(self, cfg):
+        res = run_broadcast(ProbabilisticRelay(0.3), cfg, 21)
+        assert res.informed_mask is not None
+        # Mask counts the source plus every slot-series arrival.
+        assert res.informed_mask.sum() == res.new_informed_by_slot.sum() + 1
+        assert res.informed_mask[0]  # the source
+
+
+class TestPolicyContractEnforcement:
+    def test_bad_schedule_shape_raises(self, cfg):
+        class Broken(RelayPolicy):
+            name = "broken"
+
+            def schedule(self, new_nodes, first_senders, rng, ctx):
+                return np.ones(1, dtype=bool), np.zeros(1, dtype=int)
+
+        with pytest.raises(ProtocolError, match="mismatched"):
+            run_broadcast(Broken(), cfg, 15)
+
+    def test_bad_slot_range_raises(self, cfg):
+        class BadSlots(RelayPolicy):
+            name = "bad-slots"
+
+            def schedule(self, new_nodes, first_senders, rng, ctx):
+                n = len(new_nodes)
+                return np.ones(n, dtype=bool), np.full(n, 99)
+
+        with pytest.raises(ProtocolError, match="slots outside"):
+            run_broadcast(BadSlots(), cfg, 16)
+
+    def test_bad_confirm_shape_raises(self, cfg):
+        class BadConfirm(ProbabilisticRelay):
+            name = "bad-confirm"
+
+            def confirm(self, node_ids, duplicate_receptions, rng, ctx, overheard=None):
+                return np.ones(len(node_ids) + 1, dtype=bool)
+
+        with pytest.raises(ProtocolError, match="confirm"):
+            run_broadcast(BadConfirm(0.5), cfg, 17)
+
+
+class TestSharedDeployment:
+    def test_common_random_numbers_comparison(self, cfg, rng):
+        dep = DiskDeployment.sample(rho=20, n_rings=3, rng=rng)
+        flood = run_broadcast(SimpleFlooding(), cfg, 18, deployment=dep)
+        pb = run_broadcast(ProbabilisticRelay(0.2), cfg, 18, deployment=dep)
+        assert flood.n_field_nodes == pb.n_field_nodes
+        assert pb.broadcasts_total < flood.broadcasts_total

@@ -1,0 +1,73 @@
+"""Cross-cutting simulation invariants (hypothesis over random scenarios)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.config import AnalysisConfig
+from repro.network.deployment import DiskDeployment
+from repro.protocols.pbcast import ProbabilisticRelay, SimpleFlooding
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import run_broadcast
+
+
+@st.composite
+def scenarios(draw):
+    rho = draw(st.floats(min_value=5.0, max_value=30.0))
+    p = draw(st.floats(min_value=0.0, max_value=1.0))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    channel = draw(st.sampled_from(["cam", "cfm"]))
+    cfg = SimulationConfig(
+        analysis=AnalysisConfig(n_rings=2, rho=rho, quad_nodes=8), channel=channel
+    )
+    return cfg, p, seed
+
+
+class TestEngineInvariants:
+    @given(scenario=scenarios())
+    @settings(max_examples=40, deadline=None)
+    def test_reachability_bounded_by_component(self, scenario):
+        """No protocol can inform nodes the graph cannot reach."""
+        cfg, p, seed = scenario
+        rng = np.random.default_rng(seed)
+        dep = DiskDeployment.sample(rho=cfg.rho, n_rings=cfg.n_rings, rng=rng)
+        res = run_broadcast(ProbabilisticRelay(p), cfg, seed, deployment=dep)
+        component = dep.topology().reachable_from(dep.source)
+        ceiling = (component.sum() - 1) / dep.n_field_nodes
+        assert res.reachability <= ceiling + 1e-12
+
+    @given(scenario=scenarios())
+    @settings(max_examples=40, deadline=None)
+    def test_broadcasts_bounded_by_informed(self, scenario):
+        """Each node relays at most once, so M <= informed + source."""
+        cfg, p, seed = scenario
+        res = run_broadcast(ProbabilisticRelay(p), cfg, seed)
+        assert res.broadcasts_total <= res.new_informed_by_slot.sum() + 1
+
+    @given(scenario=scenarios())
+    @settings(max_examples=40, deadline=None)
+    def test_mask_and_series_agree(self, scenario):
+        cfg, p, seed = scenario
+        res = run_broadcast(ProbabilisticRelay(p), cfg, seed)
+        assert res.informed_mask.sum() == res.new_informed_by_slot.sum() + 1
+
+    @given(scenario=scenarios())
+    @settings(max_examples=30, deadline=None)
+    def test_receptions_at_least_first_informs(self, scenario):
+        """Every newly informed node had >= 1 successful reception."""
+        cfg, p, seed = scenario
+        res = run_broadcast(ProbabilisticRelay(p), cfg, seed)
+        assert res.total_rx >= res.new_informed_by_slot.sum()
+
+    @given(seed=st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=25, deadline=None)
+    def test_cfm_flooding_exactly_fills_component(self, seed):
+        cfg = SimulationConfig(
+            analysis=AnalysisConfig(n_rings=2, rho=10, quad_nodes=8), channel="cfm"
+        )
+        rng = np.random.default_rng(seed)
+        dep = DiskDeployment.sample(rho=10, n_rings=2, rng=rng)
+        res = run_broadcast(SimpleFlooding(), cfg, seed, deployment=dep)
+        component = dep.topology().reachable_from(dep.source)
+        assert res.informed_mask.sum() == component.sum()

@@ -1,0 +1,116 @@
+"""RunResult / AggregateResult metric math on synthetic series."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.trace import BroadcastTrace
+from repro.errors import InfeasibleConstraintError
+from repro.sim.results import AggregateResult, RunResult, aggregate_metric
+
+
+def make_run(new_by_slot, bcasts_by_slot, n_field=100, slots=3):
+    cfg = AnalysisConfig(n_rings=2, rho=n_field / 4, slots=slots)
+    n_slots = len(new_by_slot)
+    n_phases = -(-n_slots // slots)
+    new_pr = np.zeros((n_phases, 2))
+    b_p = np.zeros(n_phases)
+    for i, v in enumerate(new_by_slot):
+        new_pr[i // slots, 0] += v
+    for i, v in enumerate(bcasts_by_slot):
+        b_p[i // slots] += v
+    trace = BroadcastTrace(cfg, 0.5, new_pr, b_p)
+    return RunResult(
+        trace=trace,
+        new_informed_by_slot=np.array(new_by_slot),
+        broadcasts_by_slot=np.array(bcasts_by_slot),
+        n_field_nodes=n_field,
+    )
+
+
+@pytest.fixture
+def run():
+    # Slots: informs 10, 20, 10, 20, 0, 0; broadcasts 1, 5, 5, 10, 2, 0.
+    return make_run([10, 20, 10, 20, 0, 0], [1, 5, 5, 10, 2, 0])
+
+
+class TestRunResultMetrics:
+    def test_reachability(self, run):
+        assert run.reachability == pytest.approx(0.6)
+
+    def test_broadcasts_total(self, run):
+        assert run.broadcasts_total == 23
+
+    def test_reachability_after_phases(self, run):
+        assert run.reachability_after_phases(1) == pytest.approx(0.4)  # 3 slots
+        assert run.reachability_after_phases(2) == pytest.approx(0.6)
+
+    def test_reachability_after_fractional_phase(self, run):
+        # 1/3 phase = 1 slot → 10 informed.
+        assert run.reachability_after_phases(1 / 3) == pytest.approx(0.1)
+
+    def test_latency_phases_to(self, run):
+        # 30% reached at slot 1 (cumsum 10,30) → (1+1)/3 phases.
+        assert run.latency_phases_to(0.3) == pytest.approx(2 / 3)
+
+    def test_latency_infeasible(self, run):
+        with pytest.raises(InfeasibleConstraintError):
+            run.latency_phases_to(0.9)
+
+    def test_broadcasts_to(self, run):
+        # 0.3 reach at slot 1 → broadcasts 1 + 5.
+        assert run.broadcasts_to(0.3) == 6
+
+    def test_reachability_within_budget(self, run):
+        # Budget 11: cum broadcasts 1,6,11,21,... last slot within = 2
+        # → cum reach 40/100.
+        assert run.reachability_within_budget(11) == pytest.approx(0.4)
+
+    def test_budget_larger_than_all(self, run):
+        assert run.reachability_within_budget(1000) == pytest.approx(0.6)
+
+    def test_budget_smaller_than_first_slot(self, run):
+        assert run.reachability_within_budget(0.5) == 0.0
+
+
+class TestAggregateResult:
+    def test_moments(self):
+        agg = AggregateResult("x", np.array([1.0, 2.0, 3.0]))
+        assert agg.mean == 2.0
+        assert agg.std == pytest.approx(1.0)
+        assert agg.n == 3
+
+    def test_nan_excluded(self):
+        agg = AggregateResult("x", np.array([1.0, np.nan, 3.0]))
+        assert agg.mean == 2.0
+        assert agg.n == 2 and agg.n_failed == 1
+
+    def test_ci_contains_mean(self):
+        agg = AggregateResult("x", np.arange(30, dtype=float))
+        lo, hi = agg.ci
+        assert lo < agg.mean < hi
+
+    def test_ci_width_shrinks_with_n(self):
+        small = AggregateResult("x", np.tile([1.0, 2.0], 5))
+        large = AggregateResult("x", np.tile([1.0, 2.0], 50))
+        assert large.half_width < small.half_width
+
+    def test_degenerate_single_sample(self):
+        agg = AggregateResult("x", np.array([5.0]))
+        assert agg.mean == 5.0
+        assert np.isnan(agg.std)
+
+    def test_str(self):
+        text = str(AggregateResult("reach", np.array([0.5, 0.7])))
+        assert "reach" in text and "n=2" in text
+
+
+class TestAggregateMetric:
+    def test_applies_metric(self, run):
+        agg = aggregate_metric([run, run], lambda r: r.reachability, name="r")
+        assert agg.mean == pytest.approx(0.6)
+        assert agg.n == 2
+
+    def test_infeasible_becomes_nan(self, run):
+        agg = aggregate_metric([run], lambda r: r.latency_phases_to(0.9))
+        assert agg.n_failed == 1

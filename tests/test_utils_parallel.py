@@ -1,0 +1,59 @@
+"""parallel_map: ordering, fallbacks, chunking."""
+
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.parallel import default_workers, parallel_map
+
+
+def _square(x):
+    return x * x
+
+
+def _pid_of(_):
+    return os.getpid()
+
+
+class TestSerialPath:
+    def test_results_in_order(self):
+        assert parallel_map(_square, range(10), workers=1) == [x * x for x in range(10)]
+
+    def test_empty(self):
+        assert parallel_map(_square, [], workers=1) == []
+
+    def test_small_lists_stay_serial_even_with_workers(self):
+        pids = parallel_map(_pid_of, [1, 2], workers=4, min_parallel=4)
+        assert set(pids) == {os.getpid()}
+
+    def test_generator_input(self):
+        assert parallel_map(_square, (x for x in range(5)), workers=1) == [
+            0,
+            1,
+            4,
+            9,
+            16,
+        ]
+
+
+class TestParallelPath:
+    def test_results_in_order_across_processes(self):
+        out = parallel_map(_square, range(37), workers=2, min_parallel=2)
+        assert out == [x * x for x in range(37)]
+
+    def test_explicit_chunk_size(self):
+        out = parallel_map(_square, range(11), workers=2, chunk_size=3, min_parallel=2)
+        assert out == [x * x for x in range(11)]
+
+    def test_invalid_workers(self):
+        with pytest.raises(ConfigurationError):
+            parallel_map(_square, range(4), workers=0)
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ConfigurationError):
+            parallel_map(_square, range(10), workers=2, chunk_size=0, min_parallel=2)
+
+
+def test_default_workers_at_least_one():
+    assert default_workers() >= 1

@@ -1,0 +1,59 @@
+"""Gauss-Legendre rule: exactness and interface contracts."""
+
+import numpy as np
+import pytest
+
+from repro.utils.quadrature import GaussLegendreRule
+
+
+class TestUnitRule:
+    def test_weights_sum_to_one(self):
+        rule = GaussLegendreRule.unit(16)
+        assert rule.weights.sum() == pytest.approx(1.0, abs=1e-14)
+
+    def test_nodes_inside_interval(self):
+        rule = GaussLegendreRule.unit(32)
+        assert np.all(rule.nodes > 0) and np.all(rule.nodes < 1)
+
+    def test_polynomial_exactness(self):
+        # n-point Gauss-Legendre integrates degree 2n-1 exactly.
+        rule = GaussLegendreRule.unit(4)
+        for k in range(8):
+            est = rule.integrate(rule.nodes**k)
+            assert est == pytest.approx(1.0 / (k + 1), rel=1e-12)
+
+    def test_smooth_non_polynomial(self):
+        rule = GaussLegendreRule.unit(24)
+        est = rule.integrate(np.exp(rule.nodes))
+        assert est == pytest.approx(np.e - 1.0, rel=1e-12)
+
+    def test_vectorized_integrate(self):
+        rule = GaussLegendreRule.unit(8)
+        fam = np.stack([rule.nodes, rule.nodes**2])  # (2, n)
+        out = rule.integrate(fam, axis=1)
+        assert out == pytest.approx([0.5, 1.0 / 3.0], rel=1e-12)
+
+    def test_wrong_length_rejected(self):
+        rule = GaussLegendreRule.unit(8)
+        with pytest.raises(ValueError, match="nodes"):
+            rule.integrate(np.ones(9))
+
+    def test_immutable_arrays(self):
+        rule = GaussLegendreRule.unit(8)
+        with pytest.raises(ValueError):
+            rule.nodes[0] = 0.5
+
+
+class TestScaled:
+    def test_scaled_interval(self):
+        rule = GaussLegendreRule.unit(10)
+        x, w = rule.scaled(2.0, 5.0)
+        assert np.all((x > 2.0) & (x < 5.0))
+        assert w.sum() == pytest.approx(3.0, rel=1e-13)
+        # integrate x^2 over [2, 5] = (125 - 8) / 3
+        assert np.dot(w, x**2) == pytest.approx(117.0 / 3.0, rel=1e-12)
+
+    def test_empty_interval_rejected(self):
+        rule = GaussLegendreRule.unit(4)
+        with pytest.raises(ValueError):
+            rule.scaled(1.0, 1.0)

@@ -1,0 +1,64 @@
+"""RNG stream management: reproducibility and independence guarantees."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngFactory, as_seed_sequence, spawn_rngs
+
+
+class TestAsSeedSequence:
+    def test_from_int(self):
+        ss = as_seed_sequence(42)
+        assert isinstance(ss, np.random.SeedSequence)
+        assert ss.entropy == 42
+
+    def test_from_none(self):
+        assert isinstance(as_seed_sequence(None), np.random.SeedSequence)
+
+    def test_passthrough(self):
+        ss = np.random.SeedSequence(7)
+        assert as_seed_sequence(ss) is ss
+
+    def test_rejects_generator(self):
+        with pytest.raises(TypeError, match="Generator"):
+            as_seed_sequence(np.random.default_rng(0))
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_reproducible(self):
+        a = [g.random() for g in spawn_rngs(99, 3)]
+        b = [g.random() for g in spawn_rngs(99, 3)]
+        assert a == b
+
+    def test_streams_differ(self):
+        gens = spawn_rngs(0, 4)
+        draws = {float(g.random()) for g in gens}
+        assert len(draws) == 4
+
+
+class TestRngFactory:
+    def test_streams_are_deterministic_functions_of_root(self):
+        f1, f2 = RngFactory(5), RngFactory(5)
+        assert f1.generator().random() == f2.generator().random()
+
+    def test_successive_streams_independent(self):
+        f = RngFactory(5)
+        a, b = f.generator(), f.generator()
+        assert a.random() != b.random()
+
+    def test_streams_issued_counter(self):
+        f = RngFactory(0)
+        f.generator()
+        f.generators(3)
+        assert f.streams_issued == 4
+
+    def test_bulk_matches_single_draws_count(self):
+        f = RngFactory(1)
+        gens = f.generators(8)
+        assert len(gens) == 8
+
+    def test_different_roots_differ(self):
+        assert RngFactory(1).generator().random() != RngFactory(2).generator().random()

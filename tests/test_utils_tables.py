@@ -1,0 +1,51 @@
+"""Text table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.utils.tables import format_mapping, format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = text.splitlines()
+        assert len({len(l) for l in lines}) == 1  # rectangular block
+
+    def test_none_and_nan_render_as_dash(self):
+        text = format_table(["x"], [[None], [float("nan")]])
+        assert text.count("-") >= 2
+
+    def test_precision(self):
+        text = format_table(["x"], [[1 / 3]], precision=2)
+        assert "0.33" in text and "0.333" not in text
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="hello")
+        assert text.splitlines()[0] == "hello"
+
+    def test_empty_rows(self):
+        text = format_table(["col"], [])
+        assert "col" in text
+
+    def test_bool_cells(self):
+        assert "True" in format_table(["x"], [[True]])
+
+
+class TestFormatSeries:
+    def test_basic(self):
+        text = format_series("p", [0.1, 0.2], {"reach": [0.5, 0.6]})
+        assert "p" in text and "reach" in text and "0.6000" in text
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="points"):
+            format_series("p", [0.1], {"y": [1, 2]})
+
+    def test_numpy_inputs(self):
+        text = format_series("x", np.arange(3), {"y": np.ones(3)})
+        assert "1.0000" in text
+
+
+def test_format_mapping():
+    text = format_mapping({"alpha": 1.5, "beta": "note"})
+    assert "alpha" in text and "1.5000" in text and "note" in text

@@ -1,0 +1,102 @@
+"""Validation helpers: every failure mode named and raised as ConfigurationError."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import (
+    check_fraction,
+    check_in,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 2.5) == 2.5
+
+    def test_coerces_to_float(self):
+        out = check_positive("x", 3)
+        assert isinstance(out, float) and out == 3.0
+
+    def test_rejects_zero_by_default(self):
+        with pytest.raises(ConfigurationError, match="x="):
+            check_positive("x", 0)
+
+    def test_allow_zero(self):
+        assert check_positive("x", 0, allow_zero=True) == 0.0
+
+    def test_rejects_negative_even_with_allow_zero(self):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", -1, allow_zero=True)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -float("inf")])
+    def test_rejects_non_finite(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", bad)
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", "five")
+
+    def test_error_names_parameter(self):
+        with pytest.raises(ConfigurationError, match="rho"):
+            check_positive("rho", -3)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_int(self):
+        assert check_positive_int("n", 7) == 7
+
+    def test_accepts_numpy_integer(self):
+        assert check_positive_int("n", np.int64(4)) == 4
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigurationError):
+            check_positive_int("n", True)
+
+    def test_rejects_float(self):
+        with pytest.raises(ConfigurationError):
+            check_positive_int("n", 2.0)
+
+    def test_minimum(self):
+        assert check_positive_int("n", 0, minimum=0) == 0
+        with pytest.raises(ConfigurationError):
+            check_positive_int("n", 0, minimum=1)
+
+
+class TestCheckProbability:
+    def test_bounds(self):
+        assert check_probability("p", 0.0) == 0.0
+        assert check_probability("p", 1.0) == 1.0
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ConfigurationError):
+            check_probability("p", 1.0001)
+
+    def test_disallow_zero(self):
+        with pytest.raises(ConfigurationError):
+            check_probability("p", 0.0, allow_zero=False)
+
+
+class TestCheckFraction:
+    def test_interior_ok(self):
+        assert check_fraction("f", 0.5) == 0.5
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, 1.5, -0.2])
+    def test_rejects_boundary_and_outside(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_fraction("f", bad)
+
+
+class TestCheckIn:
+    def test_member(self):
+        assert check_in("mode", "cam", ("cam", "cfm")) == "cam"
+
+    def test_non_member(self):
+        with pytest.raises(ConfigurationError, match="mode"):
+            check_in("mode", "tdma", ("cam", "cfm"))

@@ -1,0 +1,139 @@
+"""Terminal visualization: deterministic rendering contracts."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.trace import BroadcastTrace
+from repro.network.deployment import DiskDeployment
+from repro.network.grid import GridDeployment
+from repro.viz import field_map, line_chart, sparkline, wave_heatmap
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3])) == 3
+
+    def test_extremes(self):
+        s = sparkline([0, 10])
+        assert s[0] == "▁" and s[1] == "█"
+
+    def test_nan_is_space(self):
+        assert sparkline([1.0, float("nan"), 2.0])[1] == " "
+
+    def test_constant_series_mid_height(self):
+        s = sparkline([5, 5, 5])
+        assert len(set(s)) == 1 and s[0] not in ("▁", "█")
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_all_nan(self):
+        assert sparkline([float("nan")] * 3) == "   "
+
+    def test_pinned_scale(self):
+        a = sparkline([0.5], lo=0.0, hi=1.0)
+        b = sparkline([0.5, 0.0, 1.0])
+        assert a == b[0]
+
+    def test_monotone_input_monotone_glyphs(self):
+        s = sparkline(np.linspace(0, 1, 8))
+        order = "▁▂▃▄▅▆▇█"
+        assert [order.index(c) for c in s] == sorted(order.index(c) for c in s)
+
+
+class TestLineChart:
+    def test_contains_title_series_and_axes(self):
+        text = line_chart([0, 1, 2], {"y": [0.0, 0.5, 1.0]}, title="demo")
+        assert "demo" in text
+        assert "o y" in text
+        assert "+" in text and "|" in text
+
+    def test_marker_placed_at_corners(self):
+        text = line_chart([0, 1], {"y": [0.0, 1.0]}, width=10, height=5)
+        rows = [l for l in text.splitlines() if "|" in l]
+        assert rows[0].rstrip().endswith("o")  # max at top-right
+        assert "o" in rows[-1]  # min at bottom-left
+
+    def test_nan_points_skipped(self):
+        text = line_chart([0, 1, 2], {"y": [0.0, float("nan"), 1.0]})
+        assert text.count("o") == 2 + 1  # 2 points + legend marker
+
+    def test_multi_series_markers_differ(self):
+        text = line_chart([0, 1], {"a": [0, 1], "b": [1, 0]})
+        assert "o a" in text and "x b" in text
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            line_chart([0, 1], {"y": [1.0]})
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            line_chart([0.0], {"y": [float("nan")]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart([], {})
+
+
+class TestFieldMap:
+    def test_disk_deployment(self, rng):
+        dep = DiskDeployment.sample(rho=10, n_rings=2, rng=rng)
+        text = field_map(dep, width=31)
+        assert "S" in text and "." in text
+        assert "field radius 2" in text
+
+    def test_informed_mask(self, rng):
+        dep = DiskDeployment.sample(rho=10, n_rings=2, rng=rng)
+        informed = np.zeros(dep.n_nodes, dtype=bool)
+        informed[1:5] = True
+        text = field_map(dep, informed, width=31)
+        assert "#" in text
+        assert "(4)" in text
+
+    def test_grid_deployment(self):
+        dep = GridDeployment(side=7)
+        text = field_map(dep, width=21, legend=False)
+        assert "S" in text
+
+    def test_bad_mask_shape(self, rng):
+        dep = DiskDeployment.sample(rho=10, n_rings=2, rng=rng)
+        with pytest.raises(ValueError, match="mask"):
+            field_map(dep, np.zeros(3, dtype=bool))
+
+
+class TestWaveHeatmap:
+    @pytest.fixture
+    def trace(self):
+        cfg = AnalysisConfig(n_rings=3, rho=10)
+        new = np.array([[10.0, 0.0, 0.0], [2.0, 8.0, 0.0], [0.0, 2.0, 6.0]])
+        return BroadcastTrace(cfg, 0.4, new, np.array([1.0, 4.0, 4.0]))
+
+    def test_one_row_per_ring(self, trace):
+        text = wave_heatmap(trace)
+        assert text.count("ring ") == 3
+
+    def test_wavefront_visible(self, trace):
+        # Each ring's peak phase is marked with the darkest shade.
+        lines = [l for l in wave_heatmap(trace).splitlines() if l.startswith("ring ")]
+        assert lines[0].split("|")[1][0] == "█"  # ring 1 peaks in phase 1
+        assert lines[2].split("|")[1][2] == "█"  # ring 3 peaks in phase 3
+
+    def test_global_normalization(self, trace):
+        text = wave_heatmap(trace, normalize="global")
+        assert "█" in text
+
+    def test_summary_line(self, trace):
+        text = wave_heatmap(trace)
+        assert "reachability" in text and "broadcasts" in text
+
+    def test_unknown_mode(self, trace):
+        with pytest.raises(ValueError):
+            wave_heatmap(trace, normalize="weird")
+
+    def test_real_model_trace(self):
+        from repro.analysis.ring_model import RingModel
+
+        trace = RingModel(AnalysisConfig(rho=40)).run(0.3, max_phases=8)
+        text = wave_heatmap(trace)
+        assert text.count("ring ") == 5
