@@ -35,14 +35,40 @@ def test_run_to_quiescence_small_p(benchmark):
 
 
 def test_probability_sweep_one_density(benchmark):
+    """One curve of a panel-(a) figure, via the batched recursion."""
+    model = RingModel(AnalysisConfig(rho=60))
+    grid = np.arange(0.05, 1.001, 0.05)
+
+    def sweep():
+        return [
+            t.reachability_after(5) for t in model.run_batch(grid, max_phases=5)
+        ]
+
+    vals = benchmark.pedantic(sweep, rounds=15, warmup_rounds=2, iterations=1)
+    assert len(vals) == len(grid)
+
+
+def test_probability_sweep_scalar_loop(benchmark):
+    """The pre-batching per-p loop, kept as the comparison baseline."""
     model = RingModel(AnalysisConfig(rho=60))
     grid = np.arange(0.05, 1.001, 0.05)
 
     def sweep():
         return [model.run(float(p), max_phases=5).reachability_after(5) for p in grid]
 
-    vals = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    vals = benchmark.pedantic(sweep, rounds=15, warmup_rounds=2, iterations=1)
     assert len(vals) == len(grid)
+
+
+def test_quiescent_sweep_dense(benchmark):
+    """Full-depth batched sweep at the paper's densest setting."""
+    model = RingModel(AnalysisConfig(rho=140))
+    grid = np.arange(0.05, 1.001, 0.05)
+
+    traces = benchmark.pedantic(
+        lambda: model.run_batch(grid, max_phases=200), rounds=3, iterations=1
+    )
+    assert len(traces) == len(grid)
 
 
 def test_carrier_model_run(benchmark):

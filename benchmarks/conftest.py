@@ -16,6 +16,7 @@ it — mirroring how the experiments themselves share raw data.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -24,6 +25,49 @@ import pytest
 from repro.experiments.params import ExperimentScale
 
 RESULTS_DIR = Path(__file__).parent / "results"
+DEFAULT_PERF_JSON = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--perf-json",
+        nargs="?",
+        const=str(DEFAULT_PERF_JSON),
+        default=None,
+        metavar="PATH",
+        help=(
+            "After the run, merge each benchmark's median timing (seconds) "
+            "into the given JSON file under the 'current' key "
+            f"(default path: {DEFAULT_PERF_JSON}). Existing keys — e.g. the "
+            "recorded 'seed' baselines — are preserved."
+        ),
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = session.config.getoption("--perf-json", default=None)
+    if not path:
+        return
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None:
+        return
+    medians = {}
+    for bench in bench_session.benchmarks:
+        if not bench:  # no recorded rounds (errored / skipped)
+            continue
+        medians[bench.fullname] = bench.stats.median
+    if not medians:
+        return
+    out_path = Path(path)
+    data = {}
+    if out_path.exists():
+        try:
+            data = json.loads(out_path.read_text())
+        except ValueError:
+            data = {}
+    data.setdefault("current", {}).update(medians)
+    out_path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    print(f"\n[perf medians for {len(medians)} benchmarks merged into {out_path}]")
 
 
 def bench_scale() -> ExperimentScale:

@@ -49,16 +49,21 @@ class CarrierRingModel(RingModel):
 
     def carrier_neighbors(self, j: int, prev_new: np.ndarray) -> np.ndarray:
         """Eq. (A.2): expected freshly-informed nodes ``h(x)`` in the
-        carrier-sense annulus of a node in ring ``j``."""
+        carrier-sense annulus of a node in ring ``j``.
+
+        Accepts the same leading batch axes as
+        :meth:`~repro.analysis.ring_model.RingModel.informed_neighbors`.
+        """
+        prev_new = np.asarray(prev_new, dtype=float)
         P = self.config.n_rings
-        h = np.zeros(self.config.quad_nodes)
+        h = np.zeros(prev_new.shape[:-1] + (self.config.quad_nodes,))
         areas = self._carrier_areas[j - 1]
         for offset, k in enumerate(self._carrier_windows[j - 1]):
             if 1 <= k <= P:
-                h += prev_new[k - 1] * areas[:, offset] / self._ring_areas[k - 1]
+                h += prev_new[..., k - 1, None] * areas[:, offset] / self._ring_areas[k - 1]
         return h
 
-    def _reception_probability(self, j: int, p: float, prev_new: np.ndarray) -> np.ndarray:
+    def _reception_probability(self, j: int, p, prev_new: np.ndarray) -> np.ndarray:
         g = self.informed_neighbors(j, prev_new)
         h = self.carrier_neighbors(j, prev_new)
         return self._carrier_table.mu_real(g * p, h * p, self.config.slots)

@@ -26,7 +26,6 @@ import math
 
 from repro.analysis.config import AnalysisConfig
 from repro.analysis.ring_model import RingModel
-from repro.errors import InfeasibleConstraintError
 from repro.utils.validation import check_positive, check_positive_int
 
 __all__ = [

@@ -21,12 +21,14 @@ import numpy as np
 
 from repro.analysis.config import AnalysisConfig
 from repro.analysis.metrics import (
+    QUIESCENCE_PHASES,
     energy_at_reachability,
     latency_at_reachability,
     reachability_at_energy,
     reachability_at_latency,
 )
 from repro.analysis.ring_model import RingModel
+from repro.analysis.trace import BroadcastTrace
 from repro.errors import InfeasibleConstraintError
 from repro.utils.validation import check_in, check_positive
 
@@ -45,12 +47,20 @@ __all__ = [
 
 @dataclass(frozen=True)
 class MetricSpec:
-    """One optimizable metric: an evaluator plus its optimization sense."""
+    """One optimizable metric: an evaluator plus its optimization sense.
+
+    ``evaluate`` runs one scalar recursion per call (used by the
+    golden-section refinement); grid sweeps instead run the batched
+    recursion once and extract the metric from each trace with
+    ``from_trace``, bounded by ``horizon(constraint)`` phases.
+    """
 
     name: str
     evaluate: Callable[[RingModel, float, float], float]
     sense: Literal["max", "min"]
     constraint_name: str
+    from_trace: Callable[[BroadcastTrace, float], float]
+    horizon: Callable[[float], int]
 
     def better(self, a: float, b: float) -> bool:
         """True if value ``a`` beats value ``b`` under this metric's sense."""
@@ -61,18 +71,42 @@ class MetricSpec:
         return a > b if self.sense == "max" else a < b
 
 
+def _latency_horizon(latency: float) -> int:
+    return max(1, math.ceil(check_positive("latency", latency)))
+
+
 METRICS: dict[str, MetricSpec] = {
     "reachability_at_latency": MetricSpec(
-        "reachability_at_latency", reachability_at_latency, "max", "latency"
+        "reachability_at_latency",
+        reachability_at_latency,
+        "max",
+        "latency",
+        from_trace=lambda trace, latency: trace.reachability_after(latency),
+        horizon=_latency_horizon,
     ),
     "latency_at_reachability": MetricSpec(
-        "latency_at_reachability", latency_at_reachability, "min", "reachability"
+        "latency_at_reachability",
+        latency_at_reachability,
+        "min",
+        "reachability",
+        from_trace=lambda trace, target: trace.latency_to(target),
+        horizon=lambda _: QUIESCENCE_PHASES,
     ),
     "energy_at_reachability": MetricSpec(
-        "energy_at_reachability", energy_at_reachability, "min", "reachability"
+        "energy_at_reachability",
+        energy_at_reachability,
+        "min",
+        "reachability",
+        from_trace=lambda trace, target: trace.broadcasts_to(target),
+        horizon=lambda _: QUIESCENCE_PHASES,
     ),
     "reachability_at_energy": MetricSpec(
-        "reachability_at_energy", reachability_at_energy, "max", "energy budget"
+        "reachability_at_energy",
+        reachability_at_energy,
+        "max",
+        "energy budget",
+        from_trace=lambda trace, budget: trace.reachability_within_energy(budget),
+        horizon=lambda _: QUIESCENCE_PHASES,
     ),
 }
 
@@ -140,10 +174,13 @@ def sweep_metric(
     grid = default_probability_grid() if p_grid is None else np.asarray(p_grid, float)
     if grid.ndim != 1 or grid.size == 0:
         raise ValueError("p_grid must be a non-empty 1-D array")
+    # One batched recursion evaluates the whole grid; per-point metric
+    # extraction from the traces is identical to spec.evaluate(model, p, c).
+    traces = model.run_batch(grid, max_phases=spec.horizon(constraint))
     values = np.empty(grid.size)
-    for i, p in enumerate(grid):
+    for i, trace in enumerate(traces):
         try:
-            values[i] = spec.evaluate(model, float(p), constraint)
+            values[i] = spec.from_trace(trace, constraint)
         except InfeasibleConstraintError:
             values[i] = np.nan
     return grid, values
@@ -264,8 +301,7 @@ def tradeoff_curve(
     reach = np.empty(grid.size)
     energy = np.empty(grid.size)
     horizon = max(1, math.ceil(latency))
-    for i, p in enumerate(grid):
-        trace = model.run(float(p), max_phases=horizon)
+    for i, trace in enumerate(model.run_batch(grid, max_phases=horizon)):
         reach[i] = trace.reachability_after(latency)
         energy[i] = trace.broadcasts_at(latency)
     # Pareto filter: efficient iff no point strictly dominates.

@@ -30,7 +30,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.analysis.config import AnalysisConfig
 from repro.analysis.flooding import flooding_success_rate

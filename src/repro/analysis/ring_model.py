@@ -25,6 +25,7 @@ import numpy as np
 from repro.analysis.config import AnalysisConfig
 from repro.analysis.trace import BroadcastTrace
 from repro.collision.slots import SlotCollisionTable
+from repro.errors import ConfigurationError
 from repro.geometry.rings import RingPartition
 from repro.utils.quadrature import GaussLegendreRule
 from repro.utils.validation import check_positive, check_positive_int, check_probability
@@ -74,6 +75,16 @@ class RingModel:
             for j in range(1, config.n_rings + 1)
         ]
         self._ring_areas = self.partition.ring_areas
+        # Eq. (3) weights A(x, k) / area(k) per receiving ring, folded
+        # once so the recursion's hot loop is a bare multiply-accumulate.
+        self._neighbor_weights = [
+            [
+                (k - 1, self._areas[j - 1][:, offset] / self._ring_areas[k - 1])
+                for offset, k in enumerate((j - 1, j, j + 1))
+                if 1 <= k <= config.n_rings
+            ]
+            for j in range(1, config.n_rings + 1)
+        ]
 
     # ------------------------------------------------------------------
     def informed_neighbors(self, j: int, prev_new: np.ndarray) -> np.ndarray:
@@ -84,18 +95,19 @@ class RingModel:
         j:
             Ring of the receiving node (1-based).
         prev_new:
-            ``n_k^{i-1}`` per ring (length ``n_rings``).
+            ``n_k^{i-1}`` per ring (length ``n_rings``), or a batch of
+            such vectors with any leading axes (``(..., n_rings)``).
 
         Returns
         -------
         numpy.ndarray
-            ``g`` evaluated at the quadrature nodes of ring ``j``.
+            ``g`` evaluated at the quadrature nodes of ring ``j``; shape
+            ``(..., quad_nodes)`` with ``prev_new``'s leading axes.
         """
-        P = self.config.n_rings
-        g = np.zeros(self.config.quad_nodes)
-        for offset, k in enumerate((j - 1, j, j + 1)):
-            if 1 <= k <= P:
-                g += prev_new[k - 1] * self._areas[j - 1][:, offset] / self._ring_areas[k - 1]
+        prev_new = np.asarray(prev_new, dtype=float)
+        g = np.zeros(prev_new.shape[:-1] + (self.config.quad_nodes,))
+        for k_idx, weight in self._neighbor_weights[j - 1]:
+            g += prev_new[..., k_idx, None] * weight
         return g
 
     def ring_integral(self, j: int, values: np.ndarray) -> float:
@@ -107,14 +119,37 @@ class RingModel:
         """
         return float(np.dot(self._radial_weight[j - 1], values))
 
-    def _reception_probability(self, j: int, p: float, prev_new: np.ndarray) -> np.ndarray:
+    def _reception_probability(self, j: int, p, prev_new: np.ndarray) -> np.ndarray:
         """``mu(g(x) * p, s)`` at the quadrature nodes of ring ``j``.
 
-        Split out so the carrier-sense subclass can override just the
+        ``p`` is a scalar for the per-``p`` path; the batched recursion
+        passes a ``(batch, 1)`` column alongside ``(batch, n_rings)``
+        ``prev_new`` and receives ``(batch, quad_nodes)`` back.  Split
+        out so the carrier-sense subclass can override just the
         collision law while inheriting the phase recursion.
         """
         g = self.informed_neighbors(j, prev_new)
         return self._mu_table.mu_real(g * p, self.config.slots, method=self.config.mu_method)
+
+    def _validated_initial(self, initial_informed: np.ndarray | None) -> np.ndarray:
+        """Phase-1 arrivals per ring, validated against the ring populations."""
+        cfg = self.config
+        P = cfg.n_rings
+        if initial_informed is None:
+            new = np.zeros(P)
+            new[0] = cfg.rho  # T_1: the source informs all of ring 1
+            return new
+        new = np.asarray(initial_informed, dtype=float).copy()
+        if new.shape != (P,):
+            raise ValueError(f"initial_informed must have shape ({P},)")
+        if np.any(new < 0):
+            raise ValueError("initial_informed entries must be non-negative")
+        caps = cfg.delta * self._ring_areas
+        if np.any(new > caps * (1 + 1e-9)):
+            raise ValueError(
+                "initial_informed exceeds a ring's expected population"
+            )
+        return new
 
     # ------------------------------------------------------------------
     def run(
@@ -164,20 +199,7 @@ class RingModel:
         P = cfg.n_rings
         delta = cfg.delta
 
-        if initial_informed is None:
-            new = np.zeros(P)
-            new[0] = cfg.rho  # T_1: the source informs all of ring 1
-        else:
-            new = np.asarray(initial_informed, dtype=float).copy()
-            if new.shape != (P,):
-                raise ValueError(f"initial_informed must have shape ({P},)")
-            if np.any(new < 0):
-                raise ValueError("initial_informed entries must be non-negative")
-            caps = delta * self._ring_areas
-            if np.any(new > caps * (1 + 1e-9)):
-                raise ValueError(
-                    "initial_informed exceeds a ring's expected population"
-                )
+        new = self._validated_initial(initial_informed)
         check_positive("initial_broadcasts", initial_broadcasts, allow_zero=True)
         cum = new.copy()
         history_new = [new.copy()]
@@ -191,7 +213,11 @@ class RingModel:
                     continue
                 mu = self._reception_probability(j, p, new)
                 uninformed_density = capacity / self._ring_areas[j - 1]
-                integral = float(np.dot(self._radial_weight[j - 1], mu))
+                # Multiply-then-pairwise-sum (not BLAS dot): numpy's pairwise
+                # reduction is bitwise identical between this 1-D form and the
+                # row-wise batched form, which keeps run_batch exactly on
+                # run()'s trajectory.
+                integral = float((mu * self._radial_weight[j - 1]).sum())
                 nxt[j - 1] = min(integral * uninformed_density, capacity)
             bcast = p * float(new.sum())  # last phase's arrivals broadcast now
             history_bcast.append(bcast)
@@ -207,6 +233,103 @@ class RingModel:
             new_by_phase_ring=np.array(history_new),
             broadcasts_by_phase=np.array(history_bcast),
         )
+
+    # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        p_grid: np.ndarray,
+        *,
+        max_phases: int = 200,
+        tol: float | None = None,
+        initial_informed: np.ndarray | None = None,
+        initial_broadcasts: float = 1.0,
+    ) -> list[BroadcastTrace]:
+        """Run the phase recursion for a whole probability grid at once.
+
+        The recursion of :meth:`run` carries an extra leading ``p``-axis:
+        one pass over the phases evaluates every probability of
+        ``p_grid`` simultaneously, turning the per-phase work into a few
+        ``(batch, quad_nodes)`` array operations instead of ``batch``
+        separate Python recursions.  Probabilities whose wave dies early
+        are frozen (their lanes stop contributing work) while the rest
+        keep recursing, so each returned trace has exactly the phase
+        count its scalar :meth:`run` would have produced.
+
+        Parameters
+        ----------
+        p_grid:
+            1-D array of broadcast probabilities.
+        max_phases, tol, initial_informed, initial_broadcasts:
+            As in :meth:`run`, applied to every probability.
+
+        Returns
+        -------
+        list[BroadcastTrace]
+            One trace per entry of ``p_grid``, in input order; each is
+            bitwise identical to the corresponding ``run(p)`` trace
+            (both paths reduce the quadrature with the same pairwise
+            summation).
+        """
+        p_vec = np.asarray(p_grid, dtype=float)
+        if p_vec.ndim != 1 or p_vec.size == 0:
+            raise ConfigurationError("p_grid must be a non-empty 1-D array")
+        if np.any((p_vec < 0.0) | (p_vec > 1.0)) or not np.all(np.isfinite(p_vec)):
+            raise ConfigurationError("all probabilities must lie in [0, 1]")
+        max_phases = check_positive_int("max_phases", max_phases)
+        tol_abs = (self.DEFAULT_TOL if tol is None else check_positive("tol", tol)) * (
+            self.config.n_nodes
+        )
+        check_positive("initial_broadcasts", initial_broadcasts, allow_zero=True)
+
+        cfg = self.config
+        P = cfg.n_rings
+        delta = cfg.delta
+        B = p_vec.size
+        p_col = p_vec[:, None]
+
+        new = np.tile(self._validated_initial(initial_informed), (B, 1))
+        cum = new.copy()
+        history_new = [new.copy()]
+        history_bcast = [np.full(B, float(initial_broadcasts))]
+        active = np.ones(B, dtype=bool)
+        phases = np.ones(B, dtype=np.int64)
+
+        for _ in range(2, max_phases + 1):
+            if not active.any():
+                break
+            nxt = np.zeros((B, P))
+            for j in range(1, P + 1):
+                capacity = delta * self._ring_areas[j - 1] - cum[:, j - 1]
+                rows = active & (capacity > 0)
+                if not rows.any():
+                    continue
+                mu = self._reception_probability(j, p_col[rows], new[rows])
+                uninformed_density = capacity[rows] / self._ring_areas[j - 1]
+                integral = (mu * self._radial_weight[j - 1]).sum(axis=-1)
+                nxt[rows, j - 1] = np.minimum(
+                    integral * uninformed_density, capacity[rows]
+                )
+            # Frozen lanes broadcast nothing; their entries are truncated
+            # away below, so the zero is only a placeholder.
+            bcast = np.where(active, p_vec * new.sum(axis=1), 0.0)
+            history_bcast.append(bcast)
+            history_new.append(nxt)
+            cum += nxt
+            new = nxt
+            phases[active] += 1
+            active &= new.sum(axis=1) >= tol_abs
+
+        new_arr = np.stack(history_new)  # (T, B, P)
+        bc_arr = np.stack(history_bcast)  # (T, B)
+        return [
+            BroadcastTrace(
+                config=cfg,
+                p=float(p_vec[b]),
+                new_by_phase_ring=new_arr[: phases[b], b].copy(),
+                broadcasts_by_phase=bc_arr[: phases[b], b].copy(),
+            )
+            for b in range(B)
+        ]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         c = self.config

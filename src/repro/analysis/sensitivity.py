@@ -17,7 +17,7 @@ helpers make that flatness a first-class, queryable quantity.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -101,17 +101,27 @@ class SlotCollisionTable:
         self._tables: dict[int, np.ndarray] = {}
 
     def table(self, slots: int, kmax: int | None = None) -> np.ndarray:
-        """``mu(0..Kmax, slots)`` as an array, growing the cache if needed."""
+        """``mu(0..Kmax, slots)`` as an array, growing the cache if needed.
+
+        The grow check compares the cached table against what *this*
+        query needs, not against the shared ``Kmax`` high-water mark:
+        once a slot count's table covers the request it is returned
+        as-is, even if a different slot count has since grown the mark.
+        Rebuilds only happen when the request genuinely outgrows the
+        cache, and they double ``Kmax`` so growth stays amortized.
+        """
         slots = check_positive_int("slots", slots)
-        need = self._kmax if kmax is None else max(kmax, self._kmax)
+        need = self._kmax if kmax is None else kmax
         cached = self._tables.get(slots)
-        if cached is None or len(cached) <= need:
-            size = self._kmax
-            while size < need:
-                size *= 2
-            self._kmax = size
-            self._tables[slots] = 1.0 - no_singleton_table(size, slots)
-        return self._tables[slots]
+        if cached is not None and len(cached) > need:
+            return cached
+        size = self._kmax
+        while size < need:
+            size *= 2
+        self._kmax = size
+        table = 1.0 - no_singleton_table(size, slots)
+        self._tables[slots] = table
+        return table
 
     def mu(self, k, slots: int):
         """Vectorized ``mu`` for integer item counts ``k`` (array-friendly)."""

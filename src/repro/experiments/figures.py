@@ -14,7 +14,6 @@ and returns a :class:`~repro.experiments.report.FigureResult`.
 
 from __future__ import annotations
 
-import math
 from typing import Callable
 
 import numpy as np
@@ -25,7 +24,7 @@ from repro.errors import InfeasibleConstraintError
 from repro.experiments.params import ExperimentScale, PaperParams
 from repro.experiments.report import FigureResult
 from repro.sim.results import RunResult, aggregate_metric
-from repro.sim.runner import simulate_pb
+from repro.sim.runner import sweep_grid
 
 __all__ = ["FIGURES", "generate_figure", "analysis_sweep", "simulation_grid"]
 
@@ -67,8 +66,9 @@ def analysis_sweep(scale: ExperimentScale, rho: float) -> dict[str, np.ndarray]:
         "energy_at_reach": np.empty(grid.size),
         "reach_at_energy": np.empty(grid.size),
     }
-    for i, p in enumerate(grid):
-        trace = model.run(float(p), max_phases=200)
+    # One batched recursion covers the whole probability grid; each
+    # quiescent trace then yields all four metrics.
+    for i, trace in enumerate(model.run_batch(grid, max_phases=200)):
         out["reach_at_latency"][i] = trace.reachability_after(
             PaperParams.LATENCY_BUDGET_PHASES
         )
@@ -94,21 +94,30 @@ def simulation_grid(scale: ExperimentScale, rho: float) -> dict[float, list[RunR
     key = (_scale_key(scale), float(rho))
     if key in _SIM_CACHE:
         return _SIM_CACHE[key]
-    cfg = scale.simulation_config(rho)
-    grid = {}
-    for i, p in enumerate(scale.sim_p_grid):
-        # Stable per-point seed: independent of sweep order and of the
-        # other densities, so adding grid points never reshuffles runs.
-        point_seed = (scale.seed, int(rho), i)
-        grid[float(p)] = simulate_pb(
-            cfg,
-            float(p),
-            replications=scale.replications,
-            seed=point_seed,
-            workers=scale.workers,
-        )
-    _SIM_CACHE[key] = grid
-    return grid
+    # On a miss, sweep every density of the scale through one pooled
+    # call: the simulation figures all need the full grid anyway, and
+    # sweep_grid keeps a single process pool alive across it.  The
+    # per-point seed (scale.seed, int(rho), p_index) is the same one the
+    # per-point simulate_pb calls used — stable under sweep order, so
+    # cached figure data is reproduced run-for-run.
+    rhos = list(scale.rho_grid)
+    if float(rho) not in (float(r) for r in rhos):
+        rhos = [rho]
+    results = sweep_grid(
+        scale.simulation_config,
+        rhos,
+        scale.sim_p_grid,
+        scale.replications,
+        seed=scale.seed,
+        workers=scale.workers,
+        point_seed=lambda r, i: (scale.seed, int(r), i),
+    )
+    for r in rhos:
+        grid = {
+            float(p): results[(float(r), float(p))] for p in scale.sim_p_grid
+        }
+        _SIM_CACHE[(_scale_key(scale), float(r))] = grid
+    return _SIM_CACHE[key]
 
 
 def clear_caches() -> None:

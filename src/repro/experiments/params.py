@@ -14,7 +14,7 @@ crossovers) visible; benchmarks accept either scale.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

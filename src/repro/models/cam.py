@@ -5,11 +5,12 @@ A transmission in a slot succeeds at a given receiver iff it is the
 the optional carrier-sense extension (Appendix A), any transmitter
 within carrier-sense radius of the receiver also destroys the slot.
 
-The resolution is fully vectorized: per-receiver transmitter counts are
-accumulated with ``np.add.at`` over the CSR neighbor lists of the
-transmitters, and the unique sender of each count==1 receiver is
-recovered from a parallel id-sum accumulator (the sum of one sender id
-is the sender id).
+The resolution is fully vectorized: the CSR neighbor slices of all
+transmitters are gathered with a single fancy index, per-receiver
+transmitter counts are accumulated with one ``np.bincount``, and the
+unique sender of each count==1 receiver is recovered from a parallel
+id-sum ``np.bincount`` (the sum of one sender id is the sender id).  A
+loop-based reference implementation is kept for the equivalence tests.
 """
 
 from __future__ import annotations
@@ -45,6 +46,55 @@ class CollisionAwareChannel(Channel):
     def _counts_and_senders(
         self, tx: np.ndarray, indptr: np.ndarray, indices: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-receiver transmitter counts and sender-id sums, loop-free.
+
+        All CSR neighbor slices of the transmitters are gathered with one
+        fancy index (``np.repeat`` over the slice lengths builds the flat
+        positions), then two ``np.bincount`` passes accumulate the
+        receiver counts and the sums of transmitting-neighbor ids.  The
+        id sums stay exact in the float64 accumulator for any realistic
+        network (they are bounded by ``n_tx * n_nodes`` ≪ 2**53).
+        """
+        n = self.topology.n_nodes
+        starts = indptr[tx]
+        ends = indptr[tx + 1]
+        lengths = ends - starts
+        total = int(lengths.sum())
+        if total == 0:
+            zeros = np.zeros(n, dtype=np.int64)
+            return zeros, zeros.copy()
+        # Zero-degree transmitters contribute nothing; dropping their empty
+        # slices keeps the boundary bookkeeping below duplicate-free.
+        nz = lengths > 0
+        s_nz = starts[nz]
+        e_nz = ends[nz]
+        if np.array_equal(s_nz[1:], e_nz[:-1]):
+            # The slices are back-to-back (e.g. flooding with every node
+            # transmitting): the gather is a single contiguous view.
+            receivers = indices[s_nz[0] : e_nz[-1]]
+        else:
+            # flat[k] walks each transmitter's CSR slice in order:
+            # start_t, start_t + 1, ..., end_t - 1 for each t in tx.
+            # Built as a cumsum of unit steps with a jump to the next
+            # slice start at each boundary (cheaper than repeat+arange).
+            bounds = np.cumsum(lengths[nz])
+            steps = np.ones(total, dtype=np.int64)
+            steps[0] = s_nz[0]
+            steps[bounds[:-1]] = s_nz[1:] - e_nz[:-1] + 1
+            receivers = indices[np.cumsum(steps)]
+        senders = np.repeat(tx, lengths)
+        counts = np.asarray(np.bincount(receivers, minlength=n), dtype=np.int64)
+        id_sum = np.bincount(receivers, weights=senders, minlength=n).astype(np.int64)
+        return counts, id_sum
+
+    def _counts_and_senders_reference(
+        self, tx: np.ndarray, indptr: np.ndarray, indices: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Loop-based reference of :meth:`_counts_and_senders`.
+
+        Kept (and tested for exact equivalence against the vectorized
+        kernel) as executable documentation of the slot semantics.
+        """
         n = self.topology.n_nodes
         counts = np.zeros(n, dtype=np.int64)
         id_sum = np.zeros(n, dtype=np.int64)

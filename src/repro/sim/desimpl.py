@@ -27,7 +27,7 @@ simultaneous end/start events process ends first).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -4,15 +4,22 @@ The paper's simulation figures average 30 independent runs per grid
 point (Sec. 5).  :func:`replicate` spawns independent seed-sequence
 children for each run — reproducible, order-independent — and executes
 them serially or across a process pool via
-:func:`repro.utils.parallel.parallel_map`.
+:func:`repro.utils.parallel.parallel_map`.  :func:`sweep_grid` is the
+grid-scale entry point: it flattens an entire ``(rho, p)`` sweep into
+one task list so a single process pool serves every grid point (instead
+of paying pool startup per point), and can optionally reuse one sampled
+deployment per ``(rho, replication)`` cell across all probabilities
+(common random numbers).
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.errors import ConfigurationError
+from repro.network.deployment import DiskDeployment
 from repro.protocols.base import RelayPolicy
 from repro.protocols.pbcast import ProbabilisticRelay
 from repro.sim.config import SimulationConfig
@@ -21,20 +28,20 @@ from repro.utils.parallel import parallel_map
 from repro.utils.rng import SeedLike, as_seed_sequence
 from repro.utils.validation import check_in, check_positive_int
 
-__all__ = ["replicate", "simulate_pb"]
+__all__ = ["replicate", "simulate_pb", "sweep_grid"]
 
 
 def _execute(task: tuple) -> RunResult:
     """Worker entry point (top-level so it pickles)."""
-    policy, config, child_seed, engine, alignment = task
+    policy, config, child_seed, engine, alignment, deployment = task
     if engine == "vector":
         from repro.sim.engine import run_broadcast
 
-        return run_broadcast(policy, config, child_seed)
+        return run_broadcast(policy, config, child_seed, deployment=deployment)
     from repro.sim.desimpl import DesBroadcastSimulation
 
     return DesBroadcastSimulation(
-        policy, config, child_seed, alignment=alignment
+        policy, config, child_seed, alignment=alignment, deployment=deployment
     ).run()
 
 
@@ -74,7 +81,7 @@ def replicate(
     check_in("engine", engine, ("vector", "des"))
     root = as_seed_sequence(seed)
     children = root.spawn(replications)
-    tasks = [(policy, config, child, engine, alignment) for child in children]
+    tasks = [(policy, config, child, engine, alignment, None) for child in children]
     return parallel_map(_execute, tasks, workers=workers)
 
 
@@ -99,3 +106,120 @@ def simulate_pb(
         engine=engine,
         workers=workers,
     )
+
+
+def sweep_grid(
+    config: SimulationConfig | Callable[[float], SimulationConfig],
+    rho_grid: Sequence[float],
+    p_grid: Sequence[float],
+    replications: int,
+    seed: SeedLike = 0,
+    *,
+    policy_factory: Callable[[float], RelayPolicy] = ProbabilisticRelay,
+    engine: str = "vector",
+    alignment: str = "phase",
+    workers: int | None = 1,
+    reuse_deployments: bool = False,
+    point_seed: Callable[[float, int], SeedLike] | None = None,
+) -> dict[tuple[float, float], list[RunResult]]:
+    """Replicated simulations over a full ``(rho, p)`` grid, one pool.
+
+    Every ``(rho, p, replication)`` task of the grid goes through a
+    single :func:`repro.utils.parallel.parallel_map` call, so one
+    process pool serves the whole sweep instead of paying executor
+    startup once per grid point.
+
+    Parameters
+    ----------
+    config:
+        Either a :class:`SimulationConfig` (re-densified per ``rho``
+        via :meth:`SimulationConfig.with_rho`) or a callable
+        ``rho -> SimulationConfig``.
+    rho_grid, p_grid:
+        Densities and relay probabilities to cross.
+    replications:
+        Independent runs per grid point.
+    seed:
+        Root seed for the sweep.
+    policy_factory:
+        Builds the relay policy for each ``p`` (default
+        :class:`~repro.protocols.pbcast.ProbabilisticRelay`).
+    engine, alignment, workers:
+        As in :func:`replicate`.
+    reuse_deployments:
+        Common-random-numbers mode: sample one deployment per
+        ``(rho, replication)`` cell and reuse it — together with the
+        cell's protocol seed — across every ``p``.  Differences between
+        probabilities are then measured on identical topologies, which
+        sharpens comparisons at the cost of independence across ``p``.
+        Incompatible with ``point_seed``.
+    point_seed:
+        Optional ``(rho, p_index) -> seed`` hook giving each grid point
+        the root seed :func:`replicate` would have received, so a
+        pooled sweep reproduces per-point ``replicate``/``simulate_pb``
+        calls run-for-run.  Default: children spawned from ``seed`` in
+        grid order.
+
+    Returns
+    -------
+    dict mapping ``(float(rho), float(p))`` to the point's
+    ``list[RunResult]`` in replication order.
+    """
+    check_positive_int("replications", replications)
+    check_in("engine", engine, ("vector", "des"))
+    rhos = [float(r) for r in rho_grid]
+    ps = [float(p) for p in p_grid]
+    if not rhos or not ps:
+        raise ConfigurationError("rho_grid and p_grid must be non-empty")
+    if reuse_deployments and point_seed is not None:
+        raise ConfigurationError("point_seed is incompatible with reuse_deployments")
+
+    def _config_at(rho: float) -> SimulationConfig:
+        return config(rho) if callable(config) else config.with_rho(rho)
+
+    configs = [_config_at(rho) for rho in rhos]
+    policies = [policy_factory(p) for p in ps]
+    root = as_seed_sequence(seed)
+    tasks = []
+
+    if reuse_deployments:
+        rho_roots = root.spawn(len(rhos))
+        for cfg, rho_root in zip(configs, rho_roots):
+            cells = []
+            for cell in rho_root.spawn(replications):
+                # Separate streams for the deployment draw and the
+                # protocol decisions, so reusing the run seed across p
+                # does not correlate positions with relay choices.
+                dep_seed, run_seed = cell.spawn(2)
+                deployment = DiskDeployment.sample(
+                    rho=cfg.rho,
+                    n_rings=cfg.n_rings,
+                    radius=cfg.radius,
+                    rng=np.random.default_rng(dep_seed),
+                    population=cfg.population,
+                )
+                cells.append((run_seed, deployment))
+            for policy in policies:
+                for run_seed, deployment in cells:
+                    tasks.append(
+                        (policy, cfg, run_seed, engine, alignment, deployment)
+                    )
+    else:
+        point_roots = None if point_seed is not None else root.spawn(len(rhos) * len(ps))
+        for ri, cfg in enumerate(configs):
+            for pi, policy in enumerate(policies):
+                if point_seed is not None:
+                    point_root = as_seed_sequence(point_seed(rhos[ri], pi))
+                else:
+                    point_root = point_roots[ri * len(ps) + pi]
+                for child in point_root.spawn(replications):
+                    tasks.append((policy, cfg, child, engine, alignment, None))
+
+    results = parallel_map(_execute, tasks, workers=workers)
+
+    grid: dict[tuple[float, float], list[RunResult]] = {}
+    it = iter(results)
+    for rho in rhos:
+        for p in ps:
+            grid[(rho, p)] = [next(it) for _ in range(replications)]
+    return grid

@@ -10,7 +10,6 @@ from repro.analysis.optimizer import (
     optimal_probability,
     sweep_metric,
 )
-from repro.analysis.ring_model import RingModel
 from repro.errors import ConfigurationError, InfeasibleConstraintError
 
 

@@ -1,6 +1,5 @@
 """The density-aware CFM refinement (paper's future-work sketch)."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.config import AnalysisConfig

@@ -1,0 +1,95 @@
+"""Batched-p recursion (`run_batch`) against the scalar `run` path.
+
+The optimizer and figure sweeps ride on `run_batch`; these tests pin it
+to the scalar recursion point-for-point.  Both paths use the same
+multiply-then-pairwise-sum reduction, so agreement is expected to be
+bitwise, and the assertions use a tolerance far tighter than anything a
+sweep could absorb.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.carrier_model import CarrierRingModel
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.ring_model import RingModel
+from repro.errors import ConfigurationError
+
+TOL = 1e-12
+
+
+def assert_traces_match(batch_trace, scalar_trace):
+    assert batch_trace.p == scalar_trace.p
+    assert batch_trace.new_by_phase_ring.shape == scalar_trace.new_by_phase_ring.shape
+    np.testing.assert_allclose(
+        batch_trace.new_by_phase_ring,
+        scalar_trace.new_by_phase_ring,
+        rtol=0.0,
+        atol=TOL,
+    )
+    np.testing.assert_allclose(
+        batch_trace.broadcasts_by_phase,
+        scalar_trace.broadcasts_by_phase,
+        rtol=0.0,
+        atol=TOL,
+    )
+
+
+class TestRunBatchEquivalence:
+    GRID = np.arange(0.05, 1.001, 0.05)
+
+    @pytest.mark.parametrize("rho", [20.0, 60.0, 140.0])
+    def test_matches_scalar_run_quiescent(self, rho):
+        model = RingModel(AnalysisConfig(n_rings=5, rho=rho))
+        traces = model.run_batch(self.GRID)
+        assert len(traces) == self.GRID.size
+        for p, trace in zip(self.GRID, traces):
+            assert_traces_match(trace, model.run(float(p)))
+
+    def test_matches_scalar_run_truncated(self, small_config):
+        model = RingModel(small_config)
+        for p, trace in zip(self.GRID, model.run_batch(self.GRID, max_phases=4)):
+            assert_traces_match(trace, model.run(float(p), max_phases=4))
+
+    def test_carrier_model_matches_scalar(self):
+        model = CarrierRingModel(AnalysisConfig(n_rings=5, rho=60.0))
+        grid = self.GRID[::3]
+        for p, trace in zip(grid, model.run_batch(grid, max_phases=60)):
+            assert_traces_match(trace, model.run(float(p), max_phases=60))
+
+    def test_single_element_batch(self, small_config):
+        model = RingModel(small_config)
+        (trace,) = model.run_batch([0.4])
+        assert_traces_match(trace, model.run(0.4))
+
+    def test_custom_initial_informed(self, small_config):
+        model = RingModel(small_config)
+        initial = np.array([5.0, 2.0, 0.0])
+        traces = model.run_batch([0.2, 0.9], initial_informed=initial)
+        for p, trace in zip((0.2, 0.9), traces):
+            assert_traces_match(
+                trace, model.run(p, initial_informed=initial)
+            )
+
+    def test_degenerate_probabilities(self, small_config):
+        model = RingModel(small_config)
+        for p, trace in zip((0.0, 1.0), model.run_batch([0.0, 1.0])):
+            assert_traces_match(trace, model.run(p))
+
+
+class TestRunBatchValidation:
+    def test_rejects_out_of_range(self, small_config):
+        with pytest.raises(ConfigurationError):
+            RingModel(small_config).run_batch([0.2, 1.5])
+
+    def test_rejects_empty(self, small_config):
+        with pytest.raises(ConfigurationError):
+            RingModel(small_config).run_batch([])
+
+    def test_rejects_2d(self, small_config):
+        with pytest.raises(ConfigurationError):
+            RingModel(small_config).run_batch([[0.2, 0.4]])
+
+    def test_rejects_nan(self, small_config):
+        with pytest.raises(ConfigurationError):
+            RingModel(small_config).run_batch([0.2, float("nan")])

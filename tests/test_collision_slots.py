@@ -79,6 +79,55 @@ class TestTable:
         with pytest.raises(ValueError):
             table.mu(np.array([-2]), 3)
 
+    def test_growth_preserves_values(self):
+        """Growing the table keeps every previously-cached entry exact."""
+        table = SlotCollisionTable(initial_kmax=8)
+        before = table.table(3).copy()
+        table.mu(500, 3)  # force several doublings
+        after = table.table(3)
+        assert len(after) >= 501
+        np.testing.assert_array_equal(after[: len(before)], before)
+
+    def test_covered_query_returns_cached_table(self, monkeypatch):
+        """A query within the cached Kmax must not re-run the DP."""
+        import repro.collision.slots as slots_mod
+
+        table = SlotCollisionTable(initial_kmax=16)
+        first = table.table(3, kmax=10)
+
+        def boom(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("DP re-ran for a covered query")
+
+        monkeypatch.setattr(slots_mod, "no_singleton_table", boom)
+        assert table.table(3, kmax=10) is first
+        assert table.table(3, kmax=16) is first  # len 17 > 16 still covers
+
+    def test_other_slots_growth_does_not_rebuild(self, monkeypatch):
+        """Growing the shared Kmax via one slot count must not force a
+        rebuild of another slot count's still-sufficient table."""
+        import repro.collision.slots as slots_mod
+
+        table = SlotCollisionTable(initial_kmax=16)
+        tab5 = table.table(5, kmax=10)
+        table.table(3, kmax=200)  # grows the shared high-water mark
+        monkeypatch.setattr(
+            slots_mod,
+            "no_singleton_table",
+            lambda *a, **k: (_ for _ in ()).throw(
+                AssertionError("spurious rebuild after cross-slots growth")
+            ),
+        )
+        assert table.table(5, kmax=10) is tab5
+
+    def test_growth_after_cross_slots_is_correct(self):
+        """When a rebuild *is* needed it lands at the grown size."""
+        table = SlotCollisionTable(initial_kmax=16)
+        table.table(5, kmax=10)
+        table.table(3, kmax=200)  # shared mark now >= 256
+        grown = table.table(5, kmax=100)  # outgrew len-17 cache
+        assert len(grown) >= 101
+        assert table.mu(100, 5) == pytest.approx(mu_exact(100, 5), rel=1e-9)
+
 
 class TestRealExtension:
     def test_interpolation_matches_integers(self):

@@ -11,7 +11,6 @@ from repro.experiments.figures import (
     simulation_grid,
 )
 from repro.experiments.params import ExperimentScale, PaperParams
-from repro.experiments.report import FigureResult
 from repro.experiments.runall import main as runall_main
 
 

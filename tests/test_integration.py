@@ -1,11 +1,10 @@
 """Cross-layer integration: analysis vs simulation, engine vs engine, API."""
 
 import numpy as np
-import pytest
 
 import repro
 from repro.analysis import AnalysisConfig, RingModel, optimal_probability
-from repro.protocols.pbcast import ProbabilisticRelay, SimpleFlooding
+from repro.protocols.pbcast import SimpleFlooding
 from repro.sim import SimulationConfig, aggregate_metric, simulate_pb
 from repro.sim.runner import replicate
 

@@ -1,7 +1,6 @@
 """Property tests: the CAM channel vs a brute-force reference resolver."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

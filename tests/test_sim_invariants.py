@@ -1,7 +1,6 @@
 """Cross-cutting simulation invariants (hypothesis over random scenarios)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

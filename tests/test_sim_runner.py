@@ -7,7 +7,7 @@ from repro.analysis.config import AnalysisConfig
 from repro.errors import ConfigurationError
 from repro.protocols.pbcast import ProbabilisticRelay
 from repro.sim.config import SimulationConfig
-from repro.sim.runner import replicate, simulate_pb
+from repro.sim.runner import replicate, simulate_pb, sweep_grid
 
 
 @pytest.fixture
@@ -63,3 +63,72 @@ class TestSimulatePb:
     def test_trace_records_p(self, cfg):
         runs = simulate_pb(cfg, 0.37, replications=2, seed=0)
         assert all(r.trace.p == 0.37 for r in runs)
+
+
+class TestSweepGrid:
+    RHOS = (12, 18)
+    PS = (0.3, 0.8)
+
+    def test_shape_and_reproducibility(self, cfg):
+        a = sweep_grid(cfg, self.RHOS, self.PS, 3, seed=7)
+        b = sweep_grid(cfg, self.RHOS, self.PS, 3, seed=7)
+        assert set(a) == {(float(r), p) for r in self.RHOS for p in self.PS}
+        for key, runs in a.items():
+            assert len(runs) == 3
+            for x, y in zip(runs, b[key]):
+                np.testing.assert_array_equal(
+                    x.new_informed_by_slot, y.new_informed_by_slot
+                )
+
+    def test_point_seed_matches_per_point_simulate_pb(self, cfg):
+        """Pooled sweep reproduces the figure pipeline's per-point runs."""
+        grid = sweep_grid(
+            cfg.with_rho,
+            self.RHOS,
+            self.PS,
+            3,
+            seed=0,
+            point_seed=lambda rho, i: (42, int(rho), i),
+        )
+        for rho in self.RHOS:
+            for i, p in enumerate(self.PS):
+                direct = simulate_pb(
+                    cfg.with_rho(rho), p, replications=3, seed=(42, int(rho), i)
+                )
+                for x, y in zip(grid[(float(rho), p)], direct):
+                    np.testing.assert_array_equal(
+                        x.new_informed_by_slot, y.new_informed_by_slot
+                    )
+
+    def test_reuse_deployments_shares_topology_across_p(self, cfg):
+        # Poisson population makes the node count a fingerprint of the
+        # sampled deployment.
+        poisson = cfg.with_(population="poisson")
+        grid = sweep_grid(
+            poisson, self.RHOS, self.PS, 3, seed=3, reuse_deployments=True
+        )
+        for rho in self.RHOS:
+            lo = grid[(float(rho), self.PS[0])]
+            hi = grid[(float(rho), self.PS[1])]
+            for x, y in zip(lo, hi):
+                # Same (rho, replication) cell -> identical deployment.
+                assert x.n_field_nodes == y.n_field_nodes
+        # ... while replications within one point stay independent draws.
+        sizes = [r.n_field_nodes for r in grid[(float(self.RHOS[0]), self.PS[0])]]
+        assert len(set(sizes)) > 1
+
+    def test_reuse_deployments_rejects_point_seed(self, cfg):
+        with pytest.raises(ConfigurationError):
+            sweep_grid(
+                cfg,
+                self.RHOS,
+                self.PS,
+                2,
+                seed=0,
+                reuse_deployments=True,
+                point_seed=lambda rho, i: (rho, i),
+            )
+
+    def test_empty_grid_rejected(self, cfg):
+        with pytest.raises(ConfigurationError):
+            sweep_grid(cfg, (), self.PS, 2, seed=0)

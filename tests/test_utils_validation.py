@@ -1,6 +1,5 @@
 """Validation helpers: every failure mode named and raised as ConfigurationError."""
 
-import math
 
 import numpy as np
 import pytest
