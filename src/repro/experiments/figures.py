@@ -111,6 +111,7 @@ def simulation_grid(scale: ExperimentScale, rho: float) -> dict[float, list[RunR
         seed=scale.seed,
         workers=scale.workers,
         point_seed=lambda r, i: (scale.seed, int(r), i),
+        progress=scale.progress,
     )
     for r in rhos:
         grid = {

@@ -20,6 +20,7 @@ from typing import Iterable
 import numpy as np
 
 from repro.experiments.report import FigureResult
+from repro.obs.provenance import MANIFEST_NAME, load_manifest
 
 __all__ = [
     "figure_to_json",
@@ -29,6 +30,8 @@ __all__ = [
     "figure_to_csv",
     "save_figures",
     "load_figures",
+    "load_manifest",
+    "load_figures_with_manifest",
 ]
 
 
@@ -123,6 +126,25 @@ def load_figures(directory: str | Path) -> dict[str, FigureResult]:
     directory = Path(directory)
     out = {}
     for path in sorted(directory.glob("*.json")):
+        if path.name == MANIFEST_NAME:
+            continue  # the provenance manifest is not a figure document
         result = load_figure(path)
         out[result.figure] = result
     return out
+
+
+def load_figures_with_manifest(
+    directory: str | Path,
+) -> tuple[dict[str, FigureResult], dict | None]:
+    """Figures plus the provenance manifest the battery wrote, if any.
+
+    Returns ``(figures, manifest)``; ``manifest`` is ``None`` when the
+    directory predates manifest writing (pre-observability outputs stay
+    loadable).
+    """
+    directory = Path(directory)
+    figures = load_figures(directory)
+    manifest = None
+    if (directory / MANIFEST_NAME).exists():
+        manifest = load_manifest(directory)
+    return figures, manifest

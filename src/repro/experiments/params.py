@@ -60,6 +60,11 @@ class ExperimentScale:
     workers:
         Process count for replication (``1`` = serial, ``None`` = all
         cores but one).
+    progress:
+        If true, simulated sweeps print throttled progress/ETA lines to
+        stderr (see :mod:`repro.obs.progress`).  Deliberately *not* part
+        of the figure-cache key: it changes terminal output only, never
+        results.
     """
 
     name: str
@@ -69,9 +74,12 @@ class ExperimentScale:
     replications: int
     seed: int = 20050113  # the paper's preprint date
     workers: int | None = 1
+    progress: bool = False
 
     @classmethod
-    def full(cls, *, workers: int | None = None) -> "ExperimentScale":
+    def full(
+        cls, *, workers: int | None = None, progress: bool = False
+    ) -> "ExperimentScale":
         """The paper's exact grids (minutes of wall time for sim figures)."""
         return cls(
             name="full",
@@ -80,10 +88,13 @@ class ExperimentScale:
             sim_p_step=PaperParams.SIM_P_STEP,
             replications=PaperParams.REPLICATIONS,
             workers=workers,
+            progress=progress,
         )
 
     @classmethod
-    def quick(cls, *, workers: int | None = None) -> "ExperimentScale":
+    def quick(
+        cls, *, workers: int | None = None, progress: bool = False
+    ) -> "ExperimentScale":
         """Coarse grids for CI: same qualitative shapes, ~100x cheaper."""
         return cls(
             name="quick",
@@ -92,6 +103,7 @@ class ExperimentScale:
             sim_p_step=0.10,
             replications=6,
             workers=workers,
+            progress=progress,
         )
 
     # ------------------------------------------------------------------

@@ -13,9 +13,12 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+import traceback
 
 from repro.experiments.figures import FIGURES, generate_figure
 from repro.experiments.params import ExperimentScale
+from repro.obs import progress as obs_progress
+from repro.obs import provenance as obs_provenance
 
 __all__ = ["main"]
 
@@ -57,7 +60,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--save-json",
         default=None,
         metavar="DIR",
-        help="also save each figure as JSON into DIR",
+        help="also save each figure as JSON into DIR (plus a provenance manifest)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-sweep progress/ETA lines to stderr",
     )
     parser.add_argument(
         "-o", "--output", default=None, help="write to a file instead of stdout"
@@ -73,9 +81,9 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.scale == "full":
-        scale = ExperimentScale.full(workers=args.workers)
+        scale = ExperimentScale.full(workers=args.workers, progress=args.progress)
     else:
-        scale = ExperimentScale.quick(workers=args.workers)
+        scale = ExperimentScale.quick(workers=args.workers, progress=args.progress)
 
     if args.figures == "all":
         names = list(FIGURES)
@@ -86,12 +94,24 @@ def main(argv: list[str] | None = None) -> int:
             print(f"unknown figures: {', '.join(unknown)}", file=sys.stderr)
             return 2
 
+    started = obs_provenance.start_clock()
     sections: list[str] = []
     saved: list = []
-    for name in names:
+    failures: list[tuple[str, str]] = []
+    for i, name in enumerate(names, start=1):
+        obs_progress.stage(i, len(names), name)
         start = time.perf_counter()
-        result = generate_figure(name, scale)
+        try:
+            result = generate_figure(name, scale)
+        except Exception as exc:
+            # One broken figure must not silence the rest of the battery;
+            # collect it and report a non-zero exit at the end.
+            traceback.print_exc(file=sys.stderr)
+            obs_progress.stage(i, len(names), name, error=f"{type(exc).__name__}: {exc}")
+            failures.append((name, f"{type(exc).__name__}: {exc}"))
+            continue
         elapsed = time.perf_counter() - start
+        obs_progress.stage(i, len(names), name, elapsed=elapsed)
         body = result.to_markdown() if args.markdown else result.to_text()
         if args.chart:
             from repro.viz import line_chart
@@ -113,15 +133,35 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.io import save_figures
 
         paths = save_figures(saved, args.save_json)
+        obs_provenance.write_manifest(
+            args.save_json,
+            "experiments.runall",
+            seed=scale.seed,
+            params={
+                "scale": scale.name,
+                "figures": [r.figure for r in saved],
+                "failed": [n for n, _ in failures],
+                "replications": scale.replications,
+                "rho_grid": list(scale.rho_grid),
+            },
+            started=started,
+        )
         sections.append(f"[saved {len(paths)} JSON figures to {args.save_json}]")
 
-    text = "\n\n".join(sections) + "\n"
+    text = "\n\n".join(sections) + "\n" if sections else ""
     if args.output:
         with open(args.output, "w") as fh:
             fh.write(text)
         print(f"wrote {args.output}")
     else:
         print(text)
+    if failures:
+        summary = "; ".join(f"{n}: {err}" for n, err in failures)
+        print(
+            f"error: {len(failures)}/{len(names)} figure(s) failed — {summary}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -15,10 +15,15 @@ loop-based reference implementation is kept for the equivalence tests.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.models.channel import Channel, Delivery
 from repro.network.topology import Topology
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.events import ChannelDelivery
 
 __all__ = ["CollisionAwareChannel"]
 
@@ -110,6 +115,8 @@ class CollisionAwareChannel(Channel):
         if tx.size == 0:
             return Delivery(receivers=empty, senders=empty.copy(), collided=empty.copy())
 
+        reg = obs_metrics.registry()
+        t0 = time.perf_counter() if reg.enabled else 0.0
         counts, id_sum = self._counts_and_senders(
             tx, self.topology.indptr, self.topology.indices
         )
@@ -120,9 +127,22 @@ class CollisionAwareChannel(Channel):
             # The carrier graph contains the transmission graph, so a
             # clean slot must show exactly the one in-range transmitter.
             ok &= c_counts == 1
+        if reg.enabled:
+            reg.timer("cam.gather").add(time.perf_counter() - t0)
+            reg.counter("cam.slots").inc()
 
         receivers = np.flatnonzero(ok).astype(np.int64)
         collided = np.flatnonzero(counts >= 2).astype(np.int64)
+        tracer = obs_trace.get_tracer()
+        if tracer.enabled:
+            tracer.emit(
+                ChannelDelivery(
+                    model="cam",
+                    n_tx=int(tx.size),
+                    n_rx=int(receivers.size),
+                    n_collided=int(collided.size),
+                )
+            )
         return Delivery(
             receivers=receivers,
             senders=id_sum[receivers],

@@ -12,6 +12,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.models.channel import Channel, Delivery
+from repro.obs import trace as obs_trace
+from repro.obs.events import ChannelDelivery
 
 __all__ = ["CollisionFreeChannel"]
 
@@ -39,6 +41,16 @@ class CollisionFreeChannel(Channel):
         for t in tx[::-1]:
             sender_of[indices[indptr[t] : indptr[t + 1]]] = t
         receivers = np.flatnonzero(sender_of >= 0).astype(np.int64)
+        tracer = obs_trace.get_tracer()
+        if tracer.enabled:
+            tracer.emit(
+                ChannelDelivery(
+                    model="cfm",
+                    n_tx=int(tx.size),
+                    n_rx=int(receivers.size),
+                    n_collided=0,
+                )
+            )
         return Delivery(
             receivers=receivers,
             senders=sender_of[receivers],

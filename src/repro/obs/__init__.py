@@ -1,0 +1,57 @@
+"""Structured run telemetry: tracing, metrics, provenance, progress.
+
+The observability layer for the simulation stack, in four orthogonal
+pieces (see DESIGN.md, "Observability"):
+
+* :mod:`repro.obs.trace` — slot-level event tracing with pluggable
+  sinks; zero overhead when no sink is attached.
+* :mod:`repro.obs.metrics` — a counter/gauge/timer registry the hot
+  paths report into when collection is enabled.
+* :mod:`repro.obs.provenance` — manifests recording seed entropy,
+  config, git SHA and environment next to experiment outputs, with
+  helpers to reconstruct the run from a loaded manifest.
+* :mod:`repro.obs.progress` — stderr progress/ETA reporting for sweeps
+  and the figure battery.
+
+``python -m repro.obs.summarize`` renders traces and manifests.
+"""
+
+from repro.obs import metrics, progress, provenance, trace
+from repro.obs.events import (
+    ChannelDelivery,
+    NodeInformed,
+    PhaseComplete,
+    RunComplete,
+    SlotResolved,
+)
+from repro.obs.metrics import collect, registry
+from repro.obs.provenance import (
+    config_from_manifest,
+    load_manifest,
+    seed_from_manifest,
+    write_manifest,
+)
+from repro.obs.trace import JsonlSink, NullSink, RingBufferSink, capture, get_tracer
+
+__all__ = [
+    "trace",
+    "metrics",
+    "provenance",
+    "progress",
+    "SlotResolved",
+    "NodeInformed",
+    "PhaseComplete",
+    "RunComplete",
+    "ChannelDelivery",
+    "capture",
+    "get_tracer",
+    "RingBufferSink",
+    "JsonlSink",
+    "NullSink",
+    "collect",
+    "registry",
+    "write_manifest",
+    "load_manifest",
+    "config_from_manifest",
+    "seed_from_manifest",
+]

@@ -1,0 +1,167 @@
+"""A lightweight counter/gauge/timer registry for the hot paths.
+
+Instrumented code (engines, channels, the ``mu`` DP cache, the runner)
+holds the pattern::
+
+    reg = metrics.registry()
+    ...
+    if reg.enabled:
+        reg.counter("cam.slots").inc()
+
+so that with collection disabled — the default — the cost per call site
+is a single attribute read.  Enable collection around a region with
+:func:`collect`::
+
+    with metrics.collect() as reg:
+        run_broadcast(policy, config, seed)
+    reg.snapshot()["engine.collisions"]
+
+The registry is process-global and *not* thread- or process-safe:
+worker processes of a pool each accumulate into their own copy (they
+inherit the enabled flag through fork, but the parent never sees their
+values).  Serial runs (``workers=1``, the default everywhere) capture
+everything.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["Counter", "Gauge", "Timer", "MetricsRegistry", "registry", "collect"]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Timer:
+    """Accumulated wall time over any number of timed sections."""
+
+    __slots__ = ("total", "count")
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.count = 0
+
+    def add(self, seconds: float) -> None:
+        self.total += seconds
+        self.count += 1
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(time.perf_counter() - t0)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use.
+
+    A name is permanently bound to the kind that first claimed it;
+    asking for the same name as a different kind raises ``TypeError``.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._metrics: dict[str, Counter | Gauge | Timer] = {}
+
+    def _get(self, name: str, cls):
+        m = self._metrics.get(name)
+        if m is None:
+            m = self._metrics[name] = cls()
+        elif not isinstance(m, cls):
+            raise TypeError(
+                f"metric {name!r} is a {type(m).__name__}, not a {cls.__name__}"
+            )
+        return m
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def timer(self, name: str) -> Timer:
+        return self._get(name, Timer)
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop every metric (keeps the enabled flag)."""
+        self._metrics.clear()
+
+    def snapshot(self) -> dict:
+        """A JSON-ready copy of every metric's current value.
+
+        Counters and gauges map to their value; timers map to
+        ``{"total_s", "count", "mean_s"}``.
+        """
+        out: dict = {}
+        for name, m in sorted(self._metrics.items()):
+            if isinstance(m, Timer):
+                out[name] = {
+                    "total_s": m.total,
+                    "count": m.count,
+                    "mean_s": m.mean,
+                }
+            else:
+                out[name] = m.value
+        return out
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-global registry instrumented code consults."""
+    return _REGISTRY
+
+
+@contextmanager
+def collect(*, reset: bool = True) -> Iterator[MetricsRegistry]:
+    """Enable collection for a block; yields the registry.
+
+    ``reset=True`` (default) clears previous values on entry so the
+    snapshot after the block reflects just that block.  The previous
+    enabled state is restored on exit (values are kept for inspection).
+    """
+    prev = _REGISTRY.enabled
+    if reset:
+        _REGISTRY.reset()
+    _REGISTRY.enable()
+    try:
+        yield _REGISTRY
+    finally:
+        _REGISTRY.enabled = prev

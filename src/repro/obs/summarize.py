@@ -1,0 +1,212 @@
+"""Render a captured trace or a provenance manifest as a report.
+
+::
+
+    python -m repro.obs.summarize run.jsonl             # slot timeline
+    python -m repro.obs.summarize results/manifest.json # provenance
+
+For a JSONL trace the report shows the per-phase timeline (transmissions,
+new receptions, collisions), the busiest slots, and the run totals
+recomputed *from the event stream* — so it doubles as an end-to-end
+check that the trace is faithful: the recomputed total collisions and
+final reachability must equal the ``RunResult`` the engine returned
+(the acceptance test in ``tests/test_obs_summarize.py`` asserts this).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import sys
+from pathlib import Path
+
+from repro.obs.events import (
+    NodeInformed,
+    PhaseComplete,
+    RunComplete,
+    SlotResolved,
+)
+from repro.obs.provenance import MANIFEST_SCHEMA, load_manifest
+from repro.obs.trace import read_jsonl
+
+__all__ = ["summarize_trace", "render_trace", "render_manifest", "main"]
+
+
+def summarize_trace(path: str | Path) -> dict:
+    """Aggregate a JSONL trace into the quantities the report prints.
+
+    Returns a dict with ``slots`` (list of :class:`SlotResolved`),
+    ``phases`` (list of :class:`PhaseComplete`), ``collisions_total``
+    and ``n_informed`` recomputed from slot-level events, plus
+    ``reachability`` / ``run`` from the :class:`RunComplete` record
+    (``None`` when the trace was truncated before run end).
+    """
+    slots: list[SlotResolved] = []
+    phases: list[PhaseComplete] = []
+    informed: list[NodeInformed] = []
+    run: RunComplete | None = None
+    n_events = 0
+    for event in read_jsonl(path):
+        n_events += 1
+        if isinstance(event, SlotResolved):
+            slots.append(event)
+        elif isinstance(event, PhaseComplete):
+            phases.append(event)
+        elif isinstance(event, NodeInformed):
+            informed.append(event)
+        elif isinstance(event, RunComplete):
+            run = event
+    collisions_total = sum(s.n_collisions for s in slots)
+    n_informed = len(informed)
+    reachability = None
+    if run is not None and run.n_field_nodes:
+        reachability = n_informed / run.n_field_nodes
+    return {
+        "n_events": n_events,
+        "slots": slots,
+        "phases": phases,
+        "n_informed": n_informed,
+        "collisions_total": collisions_total,
+        "reachability": reachability,
+        "run": run,
+    }
+
+
+def render_trace(path: str | Path, *, max_slots: int = 40) -> str:
+    """The human-readable report for one JSONL trace."""
+    s = summarize_trace(path)
+    lines = [f"trace {path}: {s['n_events']} events"]
+
+    if s["phases"]:
+        lines.append("")
+        lines.append("phase   tx    new  informed")
+        for ph in s["phases"]:
+            lines.append(
+                f"{ph.phase:5d} {ph.n_tx:5d} {ph.n_new:6d} {ph.informed_total:9d}"
+            )
+
+    if s["slots"]:
+        lines.append("")
+        busiest = sorted(s["slots"], key=lambda e: -e.n_collisions)[:max_slots]
+        shown = sorted(busiest, key=lambda e: e.slot)
+        lines.append(
+            f"slot timeline ({len(shown)} of {len(s['slots'])} active slots, "
+            "busiest by collisions):"
+        )
+        lines.append(" slot phase   tx   rx  coll")
+        for ev in shown:
+            lines.append(
+                f"{ev.slot:5d} {ev.phase:5d} {ev.n_tx:4d} {ev.n_rx:4d} "
+                f"{ev.n_collisions:5d}"
+            )
+
+    lines.append("")
+    lines.append(f"total collisions (from SlotResolved): {s['collisions_total']}")
+    lines.append(f"nodes informed   (from NodeInformed): {s['n_informed']}")
+    run = s["run"]
+    if run is not None:
+        lines.append(
+            f"run complete: phases={run.phases} slots={run.slots} "
+            f"collisions={run.collisions} reachability={run.reachability:.4f} "
+            f"tx={run.total_tx} rx={run.total_rx}"
+        )
+        if run.collisions != s["collisions_total"]:
+            lines.append(
+                "WARNING: slot-level collision sum disagrees with RunComplete "
+                f"({s['collisions_total']} vs {run.collisions}) — truncated trace?"
+            )
+    else:
+        lines.append("no RunComplete event (truncated trace?)")
+    return "\n".join(lines)
+
+
+def render_manifest(path: str | Path) -> str:
+    """The human-readable report for one provenance manifest."""
+    doc = load_manifest(path)
+    lines = [f"manifest {path}: kind={doc.get('kind')}"]
+    git = doc.get("git") or {}
+    lines.append(
+        f"git: {git.get('sha', 'unknown')}"
+        + (" (dirty)" if git.get("dirty") else "")
+    )
+    versions = doc.get("versions", {})
+    lines.append(
+        "versions: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(versions.items()))
+    )
+    seed = doc.get("seed")
+    if seed is not None:
+        lines.append(
+            f"seed: entropy={seed.get('entropy')} spawn_key={seed.get('spawn_key')}"
+        )
+    if "config" in doc:
+        lines.append(f"config ({doc.get('config_class')}):")
+        lines.append(json.dumps(doc["config"], indent=2, sort_keys=True))
+    if "params" in doc:
+        lines.append("params:")
+        lines.append(json.dumps(doc["params"], indent=2, sort_keys=True))
+    if "wall_time_s" in doc:
+        lines.append(
+            f"time: wall {doc['wall_time_s']:.2f}s, cpu {doc.get('cpu_time_s', 0):.2f}s"
+        )
+    metrics = doc.get("metrics")
+    if metrics:
+        lines.append("metrics:")
+        for name, value in sorted(metrics.items()):
+            lines.append(f"  {name}: {value}")
+    return "\n".join(lines)
+
+
+def _is_manifest(path: Path) -> bool:
+    if path.is_dir():
+        return True
+    try:
+        with path.open() as fh:
+            head = fh.read(4096).lstrip()
+        if not head.startswith("{"):
+            return False
+        first = json.loads(head[: head.index("\n")] if "\n" in head else head)
+    except (ValueError, OSError):
+        # Multi-line JSON document: fall back to a full parse.
+        try:
+            first = json.loads(path.read_text())
+        except (ValueError, OSError):
+            return False
+    return isinstance(first, dict) and first.get("schema") == MANIFEST_SCHEMA
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.summarize",
+        description="Summarize a JSONL trace or a provenance manifest.",
+    )
+    parser.add_argument("path", help="trace .jsonl file, manifest.json, or its directory")
+    parser.add_argument(
+        "--max-slots",
+        type=int,
+        default=40,
+        metavar="N",
+        help="cap for the slot-timeline rows (default 40)",
+    )
+    args = parser.parse_args(argv)
+    path = Path(args.path)
+    if not path.exists():
+        print(f"no such file: {path}", file=sys.stderr)
+        return 2
+    try:
+        if _is_manifest(path):
+            print(render_manifest(path))
+        else:
+            print(render_trace(path, max_slots=args.max_slots))
+    except ValueError as exc:
+        print(f"cannot summarize {path}: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    # Die quietly when the reader of a pipe goes away (e.g. `... | head`).
+    if hasattr(signal, "SIGPIPE"):
+        signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+    raise SystemExit(main())

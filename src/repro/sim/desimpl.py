@@ -27,13 +27,17 @@ simultaneous end/start events process ends first).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.analysis.trace import BroadcastTrace
 from repro.des.simulator import Simulator
 from repro.errors import ProtocolError
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.events import NodeInformed, PhaseComplete, RunComplete, SlotResolved
 from repro.models.costs import EnergyLedger
 from repro.models.packet import Packet
 from repro.network.deployment import DiskDeployment
@@ -115,7 +119,15 @@ class DesBroadcastSimulation:
         self.ledger = EnergyLedger(n)
         self.collisions = 0
         self._tx_log: list[tuple[float, int]] = []  # (midpoint time, sender)
-        self._rx_log: list[tuple[float, int]] = []  # (time, receiver) first rx
+        self._rx_log: list[tuple[float, int]] = []  # (tx start time, receiver) first rx
+        # Slot-level telemetry, populated only while a tracer is active
+        # (self._emit is bound at run() start).  _slot_arrivals counts
+        # in-range transmissions per (slot, receiver) so collisions can
+        # be reported with the vectorized engine's receiver convention.
+        self._emit = None
+        self._slot_tx: dict[int, int] = {}
+        self._slot_rx: dict[int, int] = {}
+        self._slot_arrivals: dict[int, dict[int, int]] = {}
         if self.config.carrier_sense:
             self._audible_csr = self.topology.carrier_csr()
         else:
@@ -151,6 +163,12 @@ class DesBroadcastSimulation:
         self._tx_log.append((start + 0.5 * SLOT_LEN, sender))
 
         in_range = set(int(v) for v in self._in_range(sender))
+        if self._emit is not None:
+            slot = int(start // SLOT_LEN)
+            self._slot_tx[slot] = self._slot_tx.get(slot, 0) + 1
+            arrivals = self._slot_arrivals.setdefault(slot, {})
+            for w in in_range:
+                arrivals[w] = arrivals.get(w, 0) + 1
         if self.config.half_duplex:
             own = self.radio[sender]
             if own.cur_pkt is not None:
@@ -198,11 +216,20 @@ class DesBroadcastSimulation:
         node = self.nodes[receiver]
         node.overheard_senders.append(packet.sender)
         now = self.sim.now
-        phase = int(now // (self.config.slots * SLOT_LEN)) + 1
+        # _deliver runs at the *end* of the transmission; the reception
+        # belongs to the slot (and phase) in which the packet was sent.
+        # Attributing the boundary instant to the following phase would
+        # push last-slot receptions a full phase late relative to the
+        # aligned-slot semantics the vectorized engine implements.
+        sent_at = now - SLOT_LEN
+        phase = int(sent_at // (self.config.slots * SLOT_LEN)) + 1
         first = node.mark_informed(now, phase, packet.sender)
+        if self._emit is not None:
+            slot = int(sent_at // SLOT_LEN)
+            self._slot_rx[slot] = self._slot_rx.get(slot, 0) + 1
         if not first:
             return
-        self._rx_log.append((now, receiver))
+        self._rx_log.append((sent_at, receiver))
         will, slot = self.policy.schedule(
             np.array([receiver]),
             np.array([packet.sender]),
@@ -226,6 +253,10 @@ class DesBroadcastSimulation:
     def run(self) -> RunResult:
         """Execute the broadcast to quiescence and collect results."""
         cfg = self.config
+        tracer = obs_trace.get_tracer()
+        self._emit = tracer.emit if tracer.enabled else None
+        reg = obs_metrics.registry()
+        t_run0 = time.perf_counter() if reg.enabled else 0.0
         source = self.deployment.source
         self.nodes[source].informed_at = 0.0
         self.nodes[source].informed_phase = 1
@@ -237,7 +268,13 @@ class DesBroadcastSimulation:
         horizon = cfg.max_phases * cfg.slots * SLOT_LEN
         self.sim.run(until=horizon)
 
-        return self._collect()
+        result = self._collect()
+        if reg.enabled:
+            reg.counter("des.runs").inc()
+            reg.counter("des.collisions").inc(self.collisions)
+            reg.timer("des.run").add(time.perf_counter() - t_run0)
+            result = replace(result, metrics=reg.snapshot())
+        return result
 
     def _collect(self) -> RunResult:
         cfg = self.config
@@ -271,6 +308,9 @@ class DesBroadcastSimulation:
             ph = min(int(t // (slots * SLOT_LEN)), n_phases - 1)
             bcasts_by_phase[ph] += 1
 
+        if self._emit is not None:
+            self._emit_events(horizon_slots, n_phases, bcasts_by_slot, n_field)
+
         effective = cfg.analysis.with_(n_rings=n_rings, rho=n_field / n_rings**2)
         trace = BroadcastTrace(
             config=effective,
@@ -288,4 +328,75 @@ class DesBroadcastSimulation:
             total_rx=self.ledger.total_rx,
             seed_entropy=self._seed_seq.entropy,
             informed_mask=np.array([n.informed for n in self.nodes], dtype=bool),
+        )
+
+    def _emit_events(
+        self,
+        horizon_slots: int,
+        n_phases: int,
+        bcasts_by_slot: np.ndarray,
+        n_field: int,
+    ) -> None:
+        """Replay the run as the same event stream the vectorized engine
+        emits: per active slot a :class:`SlotResolved` (collisions in the
+        receiver convention, from ``_slot_arrivals``) followed by that
+        slot's :class:`NodeInformed` events, then per-phase and per-run
+        summaries.  ``RunComplete.collisions`` keeps this engine's own
+        corrupting-event convention, matching ``RunResult.collisions``.
+        """
+        emit = self._emit
+        slots = self.config.slots
+        informed_by_slot: dict[int, list[int]] = {}
+        for t, receiver in self._rx_log:
+            slot = min(int(t // SLOT_LEN), horizon_slots - 1)
+            informed_by_slot.setdefault(slot, []).append(receiver)
+        informed_total = 1  # the source
+        for ph in range(1, n_phases + 1):
+            phase_tx = 0
+            phase_new = 0
+            for slot in range((ph - 1) * slots, min(ph * slots, horizon_slots)):
+                n_tx = self._slot_tx.get(slot, 0)
+                newly = informed_by_slot.get(slot, ())
+                if n_tx == 0 and not newly:
+                    continue
+                arrivals = self._slot_arrivals.get(slot, {})
+                emit(
+                    SlotResolved(
+                        phase=ph,
+                        slot=slot,
+                        n_tx=n_tx,
+                        n_rx=self._slot_rx.get(slot, 0),
+                        n_collisions=sum(1 for c in arrivals.values() if c >= 2),
+                    )
+                )
+                for node in sorted(newly):
+                    emit(
+                        NodeInformed(
+                            node=int(node),
+                            sender=int(self.nodes[node].first_sender),
+                            phase=ph,
+                            slot=slot,
+                        )
+                    )
+                phase_tx += n_tx
+                phase_new += len(newly)
+            informed_total += phase_new
+            emit(
+                PhaseComplete(
+                    phase=ph,
+                    n_tx=phase_tx,
+                    n_new=phase_new,
+                    informed_total=informed_total,
+                )
+            )
+        emit(
+            RunComplete(
+                phases=n_phases,
+                slots=horizon_slots,
+                collisions=self.collisions,
+                reachability=len(self._rx_log) / n_field,
+                n_field_nodes=n_field,
+                total_tx=self.ledger.total_tx,
+                total_rx=self.ledger.total_rx,
+            )
         )

@@ -10,10 +10,15 @@ Monte-Carlo reproductions of Figs. 8–11.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.analysis.trace import BroadcastTrace
 from repro.errors import ProtocolError
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.events import NodeInformed, PhaseComplete, RunComplete, SlotResolved
 from repro.models.cam import CollisionAwareChannel
 from repro.models.cfm import CollisionFreeChannel
 from repro.models.costs import EnergyLedger
@@ -57,6 +62,13 @@ def run_broadcast(
     """
     seed_seq = as_seed_sequence(seed)
     rng = np.random.default_rng(seed_seq)
+
+    # Telemetry is hoisted to one check per run plus one None-test per
+    # slot, so a disabled tracer/registry costs nothing on the hot path.
+    tracer = obs_trace.get_tracer()
+    emit = tracer.emit if tracer.enabled else None
+    reg = obs_metrics.registry()
+    t_run0 = time.perf_counter() if reg.enabled else 0.0
 
     if deployment is None:
         deployment = DiskDeployment.sample(
@@ -194,8 +206,35 @@ def run_broadcast(
             bcasts_by_slot.append(int(len(tx)))
             phase_bcasts += int(len(tx))
 
+            if emit is not None:
+                abs_slot = (phase - 1) * slots + t
+                emit(
+                    SlotResolved(
+                        phase=phase,
+                        slot=abs_slot,
+                        n_tx=int(len(tx)),
+                        n_rx=int(len(receivers)),
+                        n_collisions=int(len(delivery.collided)),
+                    )
+                )
+                for node, snd in zip(newly.tolist(), senders[fresh_mask].tolist()):
+                    emit(
+                        NodeInformed(
+                            node=int(node), sender=int(snd), phase=phase, slot=abs_slot
+                        )
+                    )
+
         new_by_phase_ring.append(phase_new_rings)
         bcasts_by_phase.append(float(phase_bcasts))
+        if emit is not None:
+            emit(
+                PhaseComplete(
+                    phase=phase,
+                    n_tx=int(phase_bcasts),
+                    n_new=int(phase_new_rings.sum()),
+                    informed_total=int(informed.sum()),
+                )
+            )
 
     if not new_by_phase_ring:  # pragma: no cover - source always transmits
         new_by_phase_ring.append(np.zeros(n_rings))
@@ -209,9 +248,29 @@ def run_broadcast(
         new_by_phase_ring=np.array(new_by_phase_ring),
         broadcasts_by_phase=np.array(bcasts_by_phase),
     )
+    new_by_slot_arr = np.array(new_by_slot, dtype=np.int64)
+    if emit is not None:
+        emit(
+            RunComplete(
+                phases=phase,
+                slots=len(new_by_slot),
+                collisions=int(collisions),
+                reachability=float(new_by_slot_arr.sum()) / n_field,
+                n_field_nodes=n_field,
+                total_tx=int(ledger.total_tx),
+                total_rx=int(ledger.total_rx),
+            )
+        )
+    metrics_snapshot = None
+    if reg.enabled:
+        reg.counter("engine.runs").inc()
+        reg.counter("engine.slots_resolved").inc(len(new_by_slot))
+        reg.counter("engine.collisions").inc(int(collisions))
+        reg.timer("engine.run").add(time.perf_counter() - t_run0)
+        metrics_snapshot = reg.snapshot()
     return RunResult(
         trace=trace,
-        new_informed_by_slot=np.array(new_by_slot, dtype=np.int64),
+        new_informed_by_slot=new_by_slot_arr,
         broadcasts_by_slot=np.array(bcasts_by_slot, dtype=np.int64),
         n_field_nodes=n_field,
         collisions=int(collisions),
@@ -219,4 +278,5 @@ def run_broadcast(
         total_rx=ledger.total_rx,
         seed_entropy=seed_seq.entropy,
         informed_mask=informed,
+        metrics=metrics_snapshot,
     )

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.analysis.trace import BroadcastTrace
 from repro.errors import InfeasibleConstraintError
+from repro.utils.stats import norm_ppf
 from repro.utils.validation import check_fraction, check_positive
 
 __all__ = ["RunResult", "AggregateResult", "aggregate_metric"]
@@ -63,6 +64,10 @@ class RunResult:
     #: final per-node informed flags (source included), when the engine
     #: provides them; None for results reconstructed from series alone
     informed_mask: np.ndarray | None = field(default=None, repr=False)
+    #: :meth:`repro.obs.metrics.MetricsRegistry.snapshot` taken at run
+    #: end when metric collection was enabled; None otherwise.  Excluded
+    #: from comparisons: telemetry must never affect result identity.
+    metrics: dict | None = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     @property
@@ -167,9 +172,7 @@ class AggregateResult:
         """Normal-approximation CI half width at ``confidence``."""
         if self.n < 2:
             return float("nan")
-        from scipy.stats import norm
-
-        z = norm.ppf(0.5 + self.confidence / 2.0)
+        z = norm_ppf(0.5 + self.confidence / 2.0)
         return float(z * self.std / math.sqrt(self.n))
 
     @property

@@ -14,12 +14,16 @@ deployment per ``(rho, replication)`` cell across all probabilities
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.network.deployment import DiskDeployment
+from repro.obs import metrics as obs_metrics
+from repro.obs import progress as obs_progress
+from repro.obs import provenance as obs_provenance
 from repro.protocols.base import RelayPolicy
 from repro.protocols.pbcast import ProbabilisticRelay
 from repro.sim.config import SimulationConfig
@@ -34,15 +38,21 @@ __all__ = ["replicate", "simulate_pb", "sweep_grid"]
 def _execute(task: tuple) -> RunResult:
     """Worker entry point (top-level so it pickles)."""
     policy, config, child_seed, engine, alignment, deployment = task
+    reg = obs_metrics.registry()
+    t0 = time.perf_counter() if reg.enabled else 0.0
     if engine == "vector":
         from repro.sim.engine import run_broadcast
 
-        return run_broadcast(policy, config, child_seed, deployment=deployment)
-    from repro.sim.desimpl import DesBroadcastSimulation
+        result = run_broadcast(policy, config, child_seed, deployment=deployment)
+    else:
+        from repro.sim.desimpl import DesBroadcastSimulation
 
-    return DesBroadcastSimulation(
-        policy, config, child_seed, alignment=alignment, deployment=deployment
-    ).run()
+        result = DesBroadcastSimulation(
+            policy, config, child_seed, alignment=alignment, deployment=deployment
+        ).run()
+    if reg.enabled:
+        reg.timer("runner.task").add(time.perf_counter() - t0)
+    return result
 
 
 def replicate(
@@ -54,6 +64,8 @@ def replicate(
     engine: str = "vector",
     alignment: str = "phase",
     workers: int | None = 1,
+    progress: bool = False,
+    manifest_dir=None,
 ) -> list[RunResult]:
     """Run ``replications`` independent simulations of one scenario.
 
@@ -72,6 +84,13 @@ def replicate(
     workers:
         Process count for :func:`repro.utils.parallel.parallel_map`;
         ``1`` (default) runs serially, ``None`` uses all cores but one.
+    progress:
+        If true, print throttled progress/ETA lines to stderr via
+        :class:`repro.obs.progress.SweepProgress`.
+    manifest_dir:
+        If given (a path), write a provenance manifest (seed entropy,
+        config, git SHA, environment, timings) to
+        ``manifest_dir/manifest.json`` after the runs complete.
 
     Returns
     -------
@@ -80,9 +99,27 @@ def replicate(
     check_positive_int("replications", replications)
     check_in("engine", engine, ("vector", "des"))
     root = as_seed_sequence(seed)
+    started = obs_provenance.start_clock() if manifest_dir is not None else None
     children = root.spawn(replications)
     tasks = [(policy, config, child, engine, alignment, None) for child in children]
-    return parallel_map(_execute, tasks, workers=workers)
+    hook = obs_progress.SweepProgress(len(tasks), "replicate").update if progress else None
+    results = parallel_map(_execute, tasks, workers=workers, progress=hook)
+    if manifest_dir is not None:
+        obs_provenance.write_manifest(
+            manifest_dir,
+            "replicate",
+            config=config,
+            seed=root,
+            params={
+                "replications": replications,
+                "engine": engine,
+                "alignment": alignment,
+                "policy": repr(policy),
+            },
+            metrics=obs_metrics.registry().snapshot() or None,
+            started=started,
+        )
+    return results
 
 
 def simulate_pb(
@@ -121,6 +158,8 @@ def sweep_grid(
     workers: int | None = 1,
     reuse_deployments: bool = False,
     point_seed: Callable[[float, int], SeedLike] | None = None,
+    progress: bool = False,
+    manifest_dir=None,
 ) -> dict[tuple[float, float], list[RunResult]]:
     """Replicated simulations over a full ``(rho, p)`` grid, one pool.
 
@@ -159,6 +198,12 @@ def sweep_grid(
         pooled sweep reproduces per-point ``replicate``/``simulate_pb``
         calls run-for-run.  Default: children spawned from ``seed`` in
         grid order.
+    progress:
+        If true, print throttled progress/ETA lines (rate, collisions
+        per run, mean reachability) to stderr while the sweep runs.
+    manifest_dir:
+        If given (a path), write a provenance manifest for the sweep to
+        ``manifest_dir/manifest.json`` (see :func:`replicate`).
 
     Returns
     -------
@@ -173,6 +218,7 @@ def sweep_grid(
         raise ConfigurationError("rho_grid and p_grid must be non-empty")
     if reuse_deployments and point_seed is not None:
         raise ConfigurationError("point_seed is incompatible with reuse_deployments")
+    started = obs_provenance.start_clock() if manifest_dir is not None else None
 
     def _config_at(rho: float) -> SimulationConfig:
         return config(rho) if callable(config) else config.with_rho(rho)
@@ -215,11 +261,30 @@ def sweep_grid(
                 for child in point_root.spawn(replications):
                     tasks.append((policy, cfg, child, engine, alignment, None))
 
-    results = parallel_map(_execute, tasks, workers=workers)
+    hook = obs_progress.SweepProgress(len(tasks), "sweep").update if progress else None
+    results = parallel_map(_execute, tasks, workers=workers, progress=hook)
 
     grid: dict[tuple[float, float], list[RunResult]] = {}
     it = iter(results)
     for rho in rhos:
         for p in ps:
             grid[(rho, p)] = [next(it) for _ in range(replications)]
+    if manifest_dir is not None:
+        obs_provenance.write_manifest(
+            manifest_dir,
+            "sweep_grid",
+            config=None if callable(config) else config,
+            seed=root,
+            params={
+                "rho_grid": rhos,
+                "p_grid": ps,
+                "replications": replications,
+                "engine": engine,
+                "alignment": alignment,
+                "reuse_deployments": reuse_deployments,
+                "n_runs": len(tasks),
+            },
+            metrics=obs_metrics.registry().snapshot() or None,
+            started=started,
+        )
     return grid

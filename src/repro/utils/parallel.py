@@ -18,7 +18,7 @@ rest of the library relies on:
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro.utils.validation import check_positive_int
@@ -45,6 +45,7 @@ def parallel_map(
     workers: int | None = None,
     chunk_size: int | None = None,
     min_parallel: int = 4,
+    progress: Callable[[int, int, Sequence[R]], None] | None = None,
 ) -> list[R]:
     """Apply ``fn`` to every item, optionally across worker processes.
 
@@ -65,6 +66,11 @@ def parallel_map(
     min_parallel:
         Work lists shorter than this run serially regardless of ``workers``;
         pool startup would dominate.
+    progress:
+        Optional ``progress(done, total, chunk_results)`` hook, called in
+        the parent process after each item (serial path) or each finished
+        chunk (pool path), in *completion* order.  The returned list is
+        still in input order.
 
     Returns
     -------
@@ -76,15 +82,35 @@ def parallel_map(
         workers = default_workers()
     workers = check_positive_int("workers", workers)
     if workers == 1 or len(work) < max(min_parallel, 2):
-        return [fn(item) for item in work]
+        if progress is None:
+            return [fn(item) for item in work]
+        results = []
+        for item in work:
+            results.append(fn(item))
+            progress(len(results), len(work), results[-1:])
+        return results
 
     if chunk_size is None:
         chunk_size = max(1, -(-len(work) // (4 * workers)))
     chunk_size = check_positive_int("chunk_size", chunk_size)
     chunks = [work[i : i + chunk_size] for i in range(0, len(work), chunk_size)]
 
-    results: list[R] = []
     with ProcessPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
-        for part in pool.map(_run_chunk, [fn] * len(chunks), chunks):
-            results.extend(part)
-    return results
+        if progress is None:
+            results: list[R] = []
+            for part in pool.map(_run_chunk, [fn] * len(chunks), chunks):
+                results.extend(part)
+            return results
+        # submit/as_completed so the hook fires as chunks finish, not in
+        # input order; parts are reassembled positionally afterwards.
+        futures = {
+            pool.submit(_run_chunk, fn, chunk): i for i, chunk in enumerate(chunks)
+        }
+        parts: list[list[R] | None] = [None] * len(chunks)
+        done = 0
+        for fut in as_completed(futures):
+            part = fut.result()
+            parts[futures[fut]] = part
+            done += len(part)
+            progress(done, len(work), part)
+    return [r for part in parts for r in part]  # type: ignore[union-attr]

@@ -1,0 +1,100 @@
+"""Small statistical helpers with no heavyweight dependencies.
+
+:func:`norm_ppf` replaces the lazy ``scipy.stats.norm.ppf`` import that
+used to sit inside :attr:`~repro.sim.results.AggregateResult.half_width`
+— a property evaluated once per aggregated metric on the sweep path,
+where importing ``scipy.stats`` on first touch cost hundreds of
+milliseconds.  The implementation is Acklam's rational approximation
+(relative error < 1.15e-9 on its own) polished with one Halley step
+against the exact ``math.erfc`` CDF, which lands within ~1e-15 of
+``scipy.stats.norm.ppf`` over the whole open interval.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["norm_ppf"]
+
+# Acklam's coefficients for the inverse normal CDF.
+_A = (
+    -3.969683028665376e01,
+    2.209460984245205e02,
+    -2.759285104469687e02,
+    1.383577518672690e02,
+    -3.066479806614716e01,
+    2.506628277459239e00,
+)
+_B = (
+    -5.447609879822406e01,
+    1.615858368580409e02,
+    -1.556989798598866e02,
+    6.680131188771972e01,
+    -1.328068155288572e01,
+)
+_C = (
+    -7.784894002430293e-03,
+    -3.223964580411365e-01,
+    -2.400758277161838e00,
+    -2.549732539343734e00,
+    4.374664141464968e00,
+    2.938163982698783e00,
+)
+_D = (
+    7.784695709041462e-03,
+    3.224671290700398e-01,
+    2.445134137142996e00,
+    3.754408661907416e00,
+)
+_P_LOW = 0.02425
+_SQRT2 = math.sqrt(2.0)
+_SQRT_2PI = math.sqrt(2.0 * math.pi)
+
+
+def norm_ppf(q: float) -> float:
+    """Inverse CDF of the standard normal distribution.
+
+    ``norm_ppf(0.975)`` is the familiar ``1.959964...``.  Matches
+    ``scipy.stats.norm.ppf`` to well under 1e-9 absolute error across
+    ``(0, 1)``; the boundaries return ``±inf`` and values outside
+    ``[0, 1]`` raise ``ValueError``.
+    """
+    q = float(q)
+    if math.isnan(q) or q < 0.0 or q > 1.0:
+        raise ValueError(f"probability must be in [0, 1], got {q}")
+    if q == 0.0:
+        return -math.inf
+    if q == 1.0:
+        return math.inf
+
+    if q < _P_LOW:
+        u = math.sqrt(-2.0 * math.log(q))
+        x = (
+            ((((_C[0] * u + _C[1]) * u + _C[2]) * u + _C[3]) * u + _C[4]) * u + _C[5]
+        ) / ((((_D[0] * u + _D[1]) * u + _D[2]) * u + _D[3]) * u + 1.0)
+    elif q <= 1.0 - _P_LOW:
+        u = q - 0.5
+        r = u * u
+        x = (
+            (((((_A[0] * r + _A[1]) * r + _A[2]) * r + _A[3]) * r + _A[4]) * r + _A[5])
+            * u
+            / (((((_B[0] * r + _B[1]) * r + _B[2]) * r + _B[3]) * r + _B[4]) * r + 1.0)
+        )
+    else:
+        u = math.sqrt(-2.0 * math.log(1.0 - q))
+        x = -(
+            ((((_C[0] * u + _C[1]) * u + _C[2]) * u + _C[3]) * u + _C[4]) * u + _C[5]
+        ) / ((((_D[0] * u + _D[1]) * u + _D[2]) * u + _D[3]) * u + 1.0)
+
+    # One Halley refinement against the exact CDF (erfc is exact to ulp):
+    # drives Acklam's ~1e-9 relative error down to machine precision.
+    # The residual CDF(x) - q must be formed without cancellation: near
+    # q = 1 both terms are ~1 and their difference would drown in ulps,
+    # so evaluate through the survival function against the complement
+    # (1 - q is exact for q >= 0.5 by Sterbenz's lemma).
+    if q > 0.5:
+        e = (1.0 - q) - 0.5 * math.erfc(x / _SQRT2)
+    else:
+        e = 0.5 * math.erfc(-x / _SQRT2) - q
+    u = e * _SQRT_2PI * math.exp(0.5 * x * x)
+    return x - u / (1.0 + 0.5 * x * u)

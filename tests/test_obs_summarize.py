@@ -1,0 +1,117 @@
+"""The summarize CLI, and trace-vs-result faithfulness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.config import AnalysisConfig
+from repro.obs import capture, provenance, summarize
+from repro.obs.trace import JsonlSink
+from repro.protocols.pbcast import ProbabilisticRelay
+from repro.sim.config import SimulationConfig
+from repro.sim.desimpl import DesBroadcastSimulation
+from repro.sim.engine import run_broadcast
+
+
+@pytest.fixture
+def traced_run(tmp_path):
+    """One traced vector-engine run: (jsonl path, RunResult)."""
+    config = SimulationConfig(analysis=AnalysisConfig(n_rings=3, rho=20.0, slots=3))
+    path = tmp_path / "run.jsonl"
+    with capture(JsonlSink(path)):
+        result = run_broadcast(ProbabilisticRelay(0.5), config, 99)
+    return path, result
+
+
+class TestTraceFaithfulness:
+    def test_replay_matches_run_result(self, traced_run):
+        """The acceptance criterion: totals recomputed from the event
+        stream equal what the engine returned."""
+        path, result = traced_run
+        s = summarize.summarize_trace(path)
+        assert s["collisions_total"] == result.collisions
+        assert s["reachability"] == pytest.approx(result.reachability)
+        assert s["n_informed"] == int(result.new_informed_by_slot.sum())
+        assert s["run"].total_tx == result.total_tx
+        assert s["run"].n_field_nodes == result.n_field_nodes
+
+    def test_des_replay_reachability_matches(self, tmp_path):
+        config = SimulationConfig(analysis=AnalysisConfig(n_rings=3, rho=20.0, slots=3))
+        path = tmp_path / "des.jsonl"
+        with capture(JsonlSink(path)):
+            result = DesBroadcastSimulation(
+                ProbabilisticRelay(0.5), config, 99
+            ).run()
+        s = summarize.summarize_trace(path)
+        assert s["reachability"] == pytest.approx(result.reachability)
+        assert s["run"].collisions == result.collisions
+
+    def test_slot_tx_sums_to_total_tx(self, traced_run):
+        path, result = traced_run
+        s = summarize.summarize_trace(path)
+        assert sum(e.n_tx for e in s["slots"]) == result.total_tx
+
+
+class TestRenderTrace:
+    def test_report_contents(self, traced_run):
+        path, result = traced_run
+        text = summarize.render_trace(path)
+        assert f"total collisions (from SlotResolved): {result.collisions}" in text
+        assert "phase   tx    new  informed" in text
+        assert "run complete:" in text
+        assert "WARNING" not in text
+
+    def test_truncated_trace_warns(self, traced_run, tmp_path):
+        path, result = traced_run
+        assert result.collisions > 0  # rho=20, p=0.5 always collides
+        lines = path.read_text().splitlines()
+        truncated = tmp_path / "cut.jsonl"
+        # Keep the RunComplete record but drop every SlotResolved line,
+        # so the recomputed collision sum cannot match it.
+        kept = [ln for ln in lines if "SlotResolved" not in ln]
+        truncated.write_text("\n".join(kept) + "\n")
+        text = summarize.render_trace(truncated)
+        assert "WARNING" in text
+
+    def test_max_slots_caps_timeline(self, traced_run):
+        path, _ = traced_run
+        text = summarize.render_trace(path, max_slots=2)
+        assert "(2 of" in text
+
+
+class TestCli:
+    def test_trace_path(self, traced_run, capsys):
+        path, result = traced_run
+        assert summarize.main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert str(result.collisions) in out
+
+    def test_manifest_path_and_directory(self, tmp_path, capsys):
+        provenance.write_manifest(tmp_path, "sweep_grid", seed=5)
+        assert summarize.main([str(tmp_path / "manifest.json")]) == 0
+        assert "kind=sweep_grid" in capsys.readouterr().out
+        assert summarize.main([str(tmp_path)]) == 0
+        assert "entropy=5" in capsys.readouterr().out
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert summarize.main([str(tmp_path / "nope.jsonl")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_garbage_file_exits_1(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"event": "NoSuchEvent"}\n')
+        assert summarize.main([str(bad)]) == 1
+        assert "cannot summarize" in capsys.readouterr().err
+
+    def test_runs_as_module(self, traced_run):
+        import subprocess
+        import sys
+
+        path, _ = traced_run
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.obs.summarize", str(path)],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        assert "run complete:" in proc.stdout

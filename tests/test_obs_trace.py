@@ -1,0 +1,159 @@
+"""Tracer, sinks, and the JSONL wire format."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.events import (
+    ChannelDelivery,
+    NodeInformed,
+    PhaseComplete,
+    RunComplete,
+    SlotResolved,
+    event_from_dict,
+    event_to_dict,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer():
+    """Tests must not leak sinks into the process-global tracer."""
+    tracer = trace.get_tracer()
+    assert not tracer.enabled
+    yield
+    for sink in tracer.sinks:
+        tracer.detach(sink)
+
+
+EXAMPLES = [
+    SlotResolved(phase=2, slot=5, n_tx=3, n_rx=7, n_collisions=2),
+    NodeInformed(node=14, sender=3, phase=2, slot=5),
+    PhaseComplete(phase=2, n_tx=4, n_new=9, informed_total=23),
+    RunComplete(
+        phases=6,
+        slots=18,
+        collisions=41,
+        reachability=0.875,
+        n_field_nodes=64,
+        total_tx=30,
+        total_rx=120,
+    ),
+    ChannelDelivery(model="cam", n_tx=3, n_rx=7, n_collided=2),
+]
+
+
+class TestEvents:
+    @pytest.mark.parametrize("event", EXAMPLES, ids=lambda e: type(e).__name__)
+    def test_dict_round_trip(self, event):
+        d = event_to_dict(event)
+        assert d["event"] == type(event).__name__
+        assert event_from_dict(d) == event
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(ValueError, match="unknown trace event"):
+            event_from_dict({"event": "NoSuchEvent"})
+
+    def test_extra_keys_ignored(self):
+        d = event_to_dict(EXAMPLES[0])
+        d["future_field"] = "whatever"
+        assert event_from_dict(d) == EXAMPLES[0]
+
+
+class TestTracer:
+    def test_disabled_by_default(self):
+        assert trace.get_tracer().enabled is False
+
+    def test_attach_detach_toggle_enabled(self):
+        tracer = trace.get_tracer()
+        sink = trace.RingBufferSink()
+        tracer.attach(sink)
+        assert tracer.enabled
+        tracer.detach(sink)
+        assert not tracer.enabled
+
+    def test_attach_is_idempotent(self):
+        tracer = trace.get_tracer()
+        sink = trace.RingBufferSink()
+        tracer.attach(sink)
+        tracer.attach(sink)
+        tracer.emit(EXAMPLES[0])
+        assert len(sink) == 1
+        tracer.detach(sink)
+
+    def test_fan_out_to_all_sinks(self):
+        tracer = trace.get_tracer()
+        a, b = trace.RingBufferSink(), trace.NullSink()
+        tracer.attach(a)
+        tracer.attach(b)
+        tracer.emit(EXAMPLES[0])
+        tracer.emit(EXAMPLES[1])
+        assert a.events == [EXAMPLES[0], EXAMPLES[1]]
+        assert b.count == 2
+        tracer.detach(a)
+        tracer.detach(b)
+
+    def test_detach_unknown_sink_is_noop(self):
+        trace.get_tracer().detach(trace.NullSink())
+
+
+class TestCapture:
+    def test_default_ring_buffer(self):
+        with trace.capture() as buf:
+            trace.get_tracer().emit(EXAMPLES[0])
+        assert buf.events == [EXAMPLES[0]]
+        assert not trace.get_tracer().enabled
+
+    def test_detaches_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with trace.capture():
+                raise RuntimeError("boom")
+        assert not trace.get_tracer().enabled
+
+    def test_of_type_and_clear(self):
+        with trace.capture() as buf:
+            for e in EXAMPLES:
+                trace.get_tracer().emit(e)
+        assert buf.of_type(SlotResolved) == [EXAMPLES[0]]
+        assert len(buf) == len(EXAMPLES)
+        buf.clear()
+        assert len(buf) == 0
+
+    def test_ring_buffer_maxlen(self):
+        sink = trace.RingBufferSink(maxlen=2)
+        with trace.capture(sink):
+            for e in EXAMPLES[:3]:
+                trace.get_tracer().emit(e)
+        assert sink.events == EXAMPLES[1:3]
+
+
+class TestJsonl:
+    def test_write_and_read_back(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with trace.capture(trace.JsonlSink(path)):
+            for e in EXAMPLES:
+                trace.get_tracer().emit(e)
+        assert list(trace.read_jsonl(path)) == EXAMPLES
+
+    def test_lines_are_json_objects(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with trace.capture(trace.JsonlSink(path)):
+            trace.get_tracer().emit(EXAMPLES[0])
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["event"] == "SlotResolved"
+
+    def test_append_across_sinks(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        for e in EXAMPLES[:2]:
+            with trace.capture(trace.JsonlSink(path)):
+                trace.get_tracer().emit(e)
+        assert list(trace.read_jsonl(path)) == EXAMPLES[:2]
+
+    def test_no_file_until_first_event(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with trace.capture(trace.JsonlSink(path)):
+            pass
+        assert not path.exists()

@@ -1,0 +1,76 @@
+"""``norm_ppf`` against scipy's reference implementation."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from scipy.stats import norm
+
+from repro.utils.stats import norm_ppf
+
+
+class TestAgainstScipy:
+    def test_dense_grid_within_1e9(self):
+        qs = np.linspace(1e-6, 1.0 - 1e-6, 20001)
+        ours = np.array([norm_ppf(q) for q in qs])
+        ref = norm.ppf(qs)
+        assert np.max(np.abs(ours - ref)) < 1e-9
+
+    @pytest.mark.parametrize(
+        "q", [1e-300, 1e-15, 1e-9, 0.02425, 0.5, 0.95, 0.975, 0.995, 1 - 1e-12]
+    )
+    def test_spot_values(self, q):
+        assert norm_ppf(q) == pytest.approx(float(norm.ppf(q)), abs=1e-9, rel=1e-12)
+
+    def test_deep_tails(self):
+        for q in (1e-100, 1e-200, 1.0 - 1e-16):
+            assert norm_ppf(q) == pytest.approx(float(norm.ppf(q)), rel=1e-9)
+
+    def test_confidence_interval_z_values(self):
+        # The values half_width actually uses.
+        assert norm_ppf(0.975) == pytest.approx(1.959963984540054, abs=1e-12)
+        assert norm_ppf(0.995) == pytest.approx(2.5758293035489004, abs=1e-12)
+
+
+class TestEdges:
+    def test_boundaries_are_infinite(self):
+        assert norm_ppf(0.0) == -math.inf
+        assert norm_ppf(1.0) == math.inf
+
+    def test_symmetry(self):
+        for q in (0.01, 0.2, 0.4):
+            assert norm_ppf(q) == pytest.approx(-norm_ppf(1.0 - q), abs=1e-12)
+
+    def test_median_is_zero(self):
+        assert norm_ppf(0.5) == pytest.approx(0.0, abs=1e-15)
+
+    @pytest.mark.parametrize("q", [-0.1, 1.1, float("nan")])
+    def test_invalid_raises(self, q):
+        with pytest.raises(ValueError):
+            norm_ppf(q)
+
+
+class TestHalfWidthIntegration:
+    def test_half_width_matches_scipy_formula(self):
+        from repro.sim.results import AggregateResult
+
+        samples = np.array([1.0, 2.0, 4.0, 8.0, 16.0])
+        agg = AggregateResult(name="m", samples=samples, confidence=0.95)
+        z = float(norm.ppf(0.975))
+        expected = z * float(np.std(samples, ddof=1)) / math.sqrt(5)
+        assert agg.half_width == pytest.approx(expected, rel=1e-12)
+
+    def test_half_width_needs_no_scipy_at_runtime(self, monkeypatch):
+        """The old implementation lazily imported ``scipy.stats`` inside
+        the property; the replacement must survive scipy being
+        unimportable at evaluation time."""
+        import sys
+
+        from repro.sim.results import AggregateResult
+
+        monkeypatch.setitem(sys.modules, "scipy", None)
+        monkeypatch.setitem(sys.modules, "scipy.stats", None)
+        agg = AggregateResult(name="m", samples=np.array([1.0, 2.0, 3.0]))
+        assert math.isfinite(agg.half_width)
