@@ -68,7 +68,7 @@ def test_suppression_scheme_surrogates(benchmark):
     (RESULTS_DIR / "extension_surrogates.txt").write_text(table + "\n")
     print("\n" + table)
 
-    for label, p_eff, surrogate, simulated, err5 in rows:
+    for label, _p_eff, surrogate, simulated, err5 in rows:
         assert abs(surrogate - simulated) < 0.06, label
         assert err5 < 0.15, label
     # The closed-form distance estimate is a (slight) underestimate of

@@ -1,0 +1,14 @@
+"""``python -m repro.analysis`` runs the invariant linter (see
+:mod:`repro.analysis.lint`); the analytical model lives in the sibling
+modules of this package and has no CLI of its own."""
+
+import sys
+
+from repro.analysis.lint.cli import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Output was piped into a pager/head that quit early.
+        sys.exit(0)

@@ -1,0 +1,47 @@
+"""AST-based invariant linter for the repro codebase.
+
+The guarantees the library documents — bit-identical re-runs from
+provenance manifests, telemetry that never affects result identity,
+loop-free hot paths — are contracts, not emergent properties.  This
+package encodes them as mechanical checks over the Python ``ast`` so a
+stray ``np.random.seed()`` or a telemetry field that participates in
+dataclass equality fails CI instead of silently weakening a guarantee.
+
+Pieces:
+
+* :mod:`repro.analysis.lint.core` — :class:`Finding`, the rule
+  registry, per-line suppression parsing
+  (``# repro: allow(rule-id) — reason``), and the file/tree checker.
+* :mod:`repro.analysis.lint.rules` — the invariant rules themselves.
+* :mod:`repro.analysis.lint.baseline` — the committed-baseline
+  mechanism for grandfathered findings (target: empty).
+* :mod:`repro.analysis.lint.report` — text and JSON reporters.
+* :mod:`repro.analysis.lint.cli` — ``python -m repro.analysis``.
+"""
+
+from repro.analysis.lint.baseline import Baseline, load_baseline, save_baseline
+from repro.analysis.lint.core import (
+    Finding,
+    Rule,
+    all_rules,
+    check_paths,
+    check_source,
+    get_rule,
+    register,
+)
+from repro.analysis.lint.report import render_json, render_text
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "register",
+    "get_rule",
+    "all_rules",
+    "check_source",
+    "check_paths",
+    "Baseline",
+    "load_baseline",
+    "save_baseline",
+    "render_text",
+    "render_json",
+]

@@ -1,0 +1,92 @@
+"""Committed-baseline support for grandfathered findings.
+
+The baseline is a JSON file of finding fingerprints.  The linter fails
+only on findings *not* in the baseline, so a rule can be introduced
+before the last offender is fixed — but the repo's committed baseline
+is empty and should stay that way; the mechanism exists so a future
+rule rollout never has to choose between "land the rule" and "fix the
+world in one commit".
+
+Fingerprints are content-based (rule id + path + source snippet +
+same-snippet occurrence index, see :meth:`Finding.fingerprint`), so
+inserting unrelated lines above a grandfathered finding does not
+resurrect it, while editing the offending line itself does.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.lint.core import Finding
+
+__all__ = ["Baseline", "load_baseline", "save_baseline", "fingerprint_findings"]
+
+_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """A set of grandfathered finding fingerprints."""
+
+    fingerprints: set[str] = field(default_factory=set)
+    #: location annotations for humans reading the file; not consulted
+    #: when matching (fingerprints are the identity).
+    entries: list[dict[str, object]] = field(default_factory=list)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self.fingerprints
+
+    def __len__(self) -> int:
+        return len(self.fingerprints)
+
+
+def fingerprint_findings(findings: Iterable[Finding]) -> list[tuple[Finding, str]]:
+    """Pair each finding with its occurrence-disambiguated fingerprint."""
+    seen: dict[str, int] = {}
+    out: list[tuple[Finding, str]] = []
+    for f in findings:
+        base = f"{f.rule}\x00{f.path}\x00{f.snippet}"
+        occurrence = seen.get(base, 0)
+        seen[base] = occurrence + 1
+        out.append((f, f.fingerprint(occurrence)))
+    return out
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    """Load a baseline file; a missing file is an empty baseline."""
+    p = Path(path)
+    if not p.exists():
+        return Baseline()
+    doc = json.loads(p.read_text(encoding="utf-8"))
+    if doc.get("version") != _VERSION:
+        raise ValueError(
+            f"unsupported baseline version {doc.get('version')!r} in {p}"
+        )
+    entries = list(doc.get("findings", []))
+    return Baseline(
+        fingerprints={str(e["fingerprint"]) for e in entries},
+        entries=entries,
+    )
+
+
+def save_baseline(path: str | Path, findings: Sequence[Finding]) -> Baseline:
+    """Write the current (unsuppressed) findings as the new baseline."""
+    entries: list[dict[str, object]] = []
+    for f, fp in fingerprint_findings(findings):
+        entries.append(
+            {
+                "fingerprint": fp,
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "message": f.message,
+            }
+        )
+    doc = {"version": _VERSION, "findings": entries}
+    Path(path).write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    return Baseline(
+        fingerprints={str(e["fingerprint"]) for e in entries}, entries=entries
+    )

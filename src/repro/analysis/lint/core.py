@@ -1,0 +1,306 @@
+"""Linter plumbing: findings, the rule registry, suppressions, checking.
+
+A rule is a small object with an ``id``, a one-line ``summary``, a
+path-scoping predicate (:meth:`Rule.applies`) and a :meth:`Rule.check`
+that walks a parsed module and yields :class:`Finding` objects.  Rules
+register themselves into a module-level registry via :func:`register`
+so the CLI, the pytest hook and the self-tests all see the same set.
+
+Suppressions are per-finding and must carry a reason::
+
+    informed = np.append(informed, fresh)  # repro: allow(vec-object-dtype) — cold setup path
+
+A suppression comment applies to findings on its own line, or — when it
+is the entire line — to the first following line that holds code.  A
+reason is mandatory; a bare ``# repro: allow(rule)`` does not suppress
+(the finding survives, which is how you notice the malformed comment).
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import io
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Sequence
+
+__all__ = [
+    "Finding",
+    "Suppression",
+    "ModuleContext",
+    "Rule",
+    "register",
+    "get_rule",
+    "all_rules",
+    "check_source",
+    "check_paths",
+    "iter_python_files",
+]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  #: repo-relative posix path
+    line: int  #: 1-based source line
+    col: int  #: 0-based column
+    message: str
+    snippet: str = ""  #: stripped source line, for stable fingerprints
+    suppressed: bool = False
+    suppress_reason: str = ""
+
+    def fingerprint(self, occurrence: int = 0) -> str:
+        """Content-based identity, stable under unrelated line drift.
+
+        The line *number* is deliberately excluded: inserting code above
+        a grandfathered finding must not turn it into a "new" one.  Two
+        identical snippets in one file are told apart by ``occurrence``
+        (their top-to-bottom index among same-fingerprint findings).
+        """
+        raw = f"{self.rule}\x00{self.path}\x00{self.snippet}\x00{occurrence}"
+        return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+
+#: Matches comments of the form ``repro: allow(rule-a, rule-b) — reason``
+#: (reason mandatory; the dash may be an em/en dash or a plain hyphen).
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*allow\(\s*(?P<rules>[a-z0-9_*,\s-]+?)\s*\)\s*(?:[—–-]+\s*)?(?P<reason>.*)$"
+)
+
+
+@dataclass
+class Suppression:
+    """A parsed ``# repro: allow(...)`` comment."""
+
+    line: int  #: line the comment sits on
+    rules: tuple[str, ...]
+    reason: str
+    used: bool = False
+
+    @property
+    def valid(self) -> bool:
+        return bool(self.reason.strip())
+
+    def covers(self, rule_id: str) -> bool:
+        return "*" in self.rules or rule_id in self.rules
+
+
+def parse_suppressions(source: str) -> dict[int, Suppression]:
+    """Map *effective* line number -> suppression.
+
+    Only real ``COMMENT`` tokens count (a suppression example inside a
+    docstring is documentation, not a suppression).  A comment on a code
+    line guards that line; a comment that is the whole line guards the
+    next non-blank, non-comment line.
+    """
+    lines = source.splitlines()
+    out: dict[int, Suppression] = {}
+    n = len(lines)
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        return out
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        m = _SUPPRESS_RE.search(tok.string)
+        if m is None:
+            continue
+        i = tok.start[0]
+        rules = tuple(r.strip() for r in m.group("rules").split(",") if r.strip())
+        sup = Suppression(line=i, rules=rules, reason=m.group("reason").strip())
+        target = i
+        if lines[i - 1].lstrip().startswith("#"):
+            j = i  # comment-only line: guard the next code line
+            while j < n:
+                nxt = lines[j].strip()
+                if nxt and not nxt.startswith("#"):
+                    target = j + 1
+                    break
+                j += 1
+        out[target] = sup
+    return out
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to check one module."""
+
+    path: str  #: repo-relative posix path
+    tree: ast.Module
+    lines: Sequence[str]
+    suppressions: dict[int, Suppression] = field(default_factory=dict)
+
+    def snippet(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(
+        self, rule: str, node: ast.AST, message: str
+    ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        sup = self.suppressions.get(line)
+        suppressed = sup is not None and sup.valid and sup.covers(rule)
+        if suppressed and sup is not None:
+            sup.used = True
+        return Finding(
+            rule=rule,
+            path=self.path,
+            line=line,
+            col=col,
+            message=message,
+            snippet=self.snippet(line),
+            suppressed=suppressed,
+            suppress_reason=sup.reason if (suppressed and sup is not None) else "",
+        )
+
+
+class Rule:
+    """Base class for invariant rules.
+
+    Subclasses set :attr:`id` and :attr:`summary`, optionally override
+    :meth:`applies` for path scoping, and implement :meth:`check`.
+    """
+
+    id: str = ""
+    summary: str = ""
+
+    def applies(self, path: str) -> bool:
+        return True
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and add to the global registry."""
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    _REGISTRY[rule.id] = rule
+    return cls
+
+
+def get_rule(rule_id: str) -> Rule:
+    return _REGISTRY[rule_id]
+
+
+def all_rules() -> list[Rule]:
+    """Registered rules, sorted by id for stable output."""
+    # Importing the rules module populates the registry on first use.
+    from repro.analysis.lint import rules as _rules  # noqa: F401
+
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def check_source(
+    source: str,
+    path: str,
+    rules: Iterable[Rule] | None = None,
+) -> list[Finding]:
+    """Check one module's source text; returns findings incl. suppressed.
+
+    ``path`` is the repo-relative posix path rules scope on; it need not
+    exist on disk (the self-tests lint fixture snippets under synthetic
+    paths like ``src/repro/sim/fake.py``).
+    """
+    selected = list(all_rules() if rules is None else rules)
+    tree = ast.parse(source, filename=path)
+    lines = source.splitlines()
+    ctx = ModuleContext(
+        path=path,
+        tree=tree,
+        lines=lines,
+        suppressions=parse_suppressions(source),
+    )
+    findings: list[Finding] = []
+    for rule in selected:
+        if rule.applies(path):
+            findings.extend(rule.check(ctx))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    """Yield ``.py`` files under the given files/directories, sorted."""
+    seen: set[Path] = set()
+    for p in paths:
+        root = Path(p)
+        if root.is_file():
+            candidates: Iterable[Path] = [root] if root.suffix == ".py" else []
+        else:
+            candidates = sorted(root.rglob("*.py"))
+        for f in candidates:
+            if "__pycache__" in f.parts or f in seen:
+                continue
+            seen.add(f)
+            yield f
+
+
+def relative_posix(path: Path, root: Path | None = None) -> str:
+    """``path`` as a posix path relative to ``root`` (default: cwd)."""
+    base = Path.cwd() if root is None else root
+    try:
+        rel = path.resolve().relative_to(base.resolve())
+    except ValueError:
+        rel = Path(os.path.relpath(path, base))
+    return rel.as_posix()
+
+
+def check_paths(
+    paths: Sequence[str | Path],
+    rules: Iterable[Rule] | None = None,
+    root: Path | None = None,
+    on_error: Callable[[Path, SyntaxError], None] | None = None,
+) -> tuple[list[Finding], list[Suppression]]:
+    """Check every Python file under ``paths``.
+
+    Returns ``(findings, unused_suppressions)``; findings include
+    suppressed ones (reporters and the baseline decide what counts).
+    Unparseable files are reported through ``on_error`` and skipped —
+    the linter must not crash on a file Python itself would reject,
+    because CI runs it before the test suite.
+    """
+    selected = list(all_rules() if rules is None else rules)
+    findings: list[Finding] = []
+    unused: list[Suppression] = []
+    for file in iter_python_files(paths):
+        rel = relative_posix(file, root)
+        try:
+            source = file.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=rel)
+        except SyntaxError as exc:
+            if on_error is not None:
+                on_error(file, exc)
+            continue
+        lines = source.splitlines()
+        ctx = ModuleContext(
+            path=rel,
+            tree=tree,
+            lines=lines,
+            suppressions=parse_suppressions(source),
+        )
+        for rule in selected:
+            if rule.applies(rel):
+                findings.extend(rule.check(ctx))
+        unused.extend(
+            s for s in ctx.suppressions.values() if s.valid and not s.used
+        )
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings, unused

@@ -1,0 +1,94 @@
+"""Text and JSON reporters for lint findings."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Sequence
+
+from repro.analysis.lint.baseline import fingerprint_findings
+from repro.analysis.lint.core import Finding, Suppression
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(
+    new: Sequence[Finding],
+    baselined: Sequence[Finding] = (),
+    suppressed: Sequence[Finding] = (),
+    unused_suppressions: Sequence[Suppression] = (),
+    files_checked: int = 0,
+) -> str:
+    """Human-oriented report: one line per finding plus a tally."""
+    lines: list[str] = []
+    for f in new:
+        lines.append(f"{f.location()}  {f.rule}  {f.message}")
+        if f.snippet:
+            lines.append(f"    {f.snippet}")
+    if baselined:
+        lines.append("")
+        lines.append(f"{len(baselined)} baselined finding(s) (grandfathered, not failing):")
+        for f in baselined:
+            lines.append(f"  {f.location()}  {f.rule}")
+    if suppressed:
+        lines.append("")
+        lines.append(f"{len(suppressed)} suppressed finding(s):")
+        for f in suppressed:
+            lines.append(f"  {f.location()}  {f.rule}  — {f.suppress_reason}")
+    for sup in unused_suppressions:
+        lines.append(
+            f"warning: unused suppression for ({', '.join(sup.rules)}) "
+            f"at line {sup.line}"
+        )
+    lines.append("")
+    by_rule = Counter(f.rule for f in new)
+    tally = ", ".join(f"{rule}={n}" for rule, n in sorted(by_rule.items()))
+    if new:
+        lines.append(
+            f"FAIL: {len(new)} new finding(s) in {files_checked} file(s)"
+            + (f" [{tally}]" if tally else "")
+        )
+    else:
+        lines.append(f"OK: no new findings in {files_checked} file(s)")
+    return "\n".join(lines)
+
+
+def render_json(
+    new: Sequence[Finding],
+    baselined: Sequence[Finding] = (),
+    suppressed: Sequence[Finding] = (),
+    files_checked: int = 0,
+) -> str:
+    """Machine-oriented report (stable keys; one JSON object)."""
+
+    def encode(findings: Sequence[Finding]) -> list[dict[str, object]]:
+        return [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+                "snippet": f.snippet,
+                "fingerprint": fp,
+                **(
+                    {"suppress_reason": f.suppress_reason}
+                    if f.suppressed
+                    else {}
+                ),
+            }
+            for f, fp in fingerprint_findings(findings)
+        ]
+
+    doc = {
+        "files_checked": files_checked,
+        "new": encode(new),
+        "baselined": encode(baselined),
+        "suppressed": encode(suppressed),
+        "counts": {
+            "new": len(new),
+            "baselined": len(baselined),
+            "suppressed": len(suppressed),
+        },
+    }
+    return json.dumps(doc, indent=2)

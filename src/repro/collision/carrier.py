@@ -19,7 +19,9 @@ accurate to a few 1e-3 at those counts (the tests quantify this).
 from __future__ import annotations
 
 import numpy as np
-from scipy.special import gammaln
+from numpy.typing import ArrayLike
+
+from repro.utils.stats import gammaln
 
 from repro.collision.poisson import mu_poisson_carrier
 from repro.utils.validation import check_positive_int
@@ -94,7 +96,7 @@ class CarrierCollisionTable:
         enough for the Poisson limit to hold).
     """
 
-    def __init__(self, exact_limit: int = 96):
+    def __init__(self, exact_limit: int = 96) -> None:
         self.exact_limit = check_positive_int("exact_limit", exact_limit)
         self._tables: dict[int, np.ndarray] = {}
         self._shape: tuple[int, int] = (0, 0)
@@ -111,7 +113,7 @@ class CarrierCollisionTable:
             self._shape = cached.shape
         return self._tables[slots]
 
-    def mu(self, k1, k2, slots: int):
+    def mu(self, k1: ArrayLike, k2: ArrayLike, slots: int) -> float | np.ndarray:
         """Vectorized exact ``mu'`` for integer counts (within ``exact_limit``)."""
         k1a = np.asarray(k1)
         k2a = np.asarray(k2)
@@ -126,7 +128,9 @@ class CarrierCollisionTable:
         out = tab[k1a, k2a]
         return float(out[()]) if out.ndim == 0 else out
 
-    def mu_real(self, lam1, lam2, slots: int):
+    def mu_real(
+        self, lam1: ArrayLike, lam2: ArrayLike, slots: int
+    ) -> float | np.ndarray:
         """``mu'`` at real-valued expected counts.
 
         Bilinear interpolation on the exact table where
@@ -166,6 +170,8 @@ class CarrierCollisionTable:
 _DEFAULT = CarrierCollisionTable()
 
 
-def mu_carrier_real(lam1, lam2, slots: int):
+def mu_carrier_real(
+    lam1: ArrayLike, lam2: ArrayLike, slots: int
+) -> float | np.ndarray:
     """Module-level convenience wrapper over a shared :class:`CarrierCollisionTable`."""
     return _DEFAULT.mu_real(lam1, lam2, slots)

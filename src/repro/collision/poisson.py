@@ -26,7 +26,9 @@ In the analytical framework these forms serve two roles:
 from __future__ import annotations
 
 import numpy as np
-from scipy.special import gammaln
+from numpy.typing import ArrayLike
+
+from repro.utils.stats import gammaln
 
 from repro.utils.validation import check_positive_int
 
@@ -38,7 +40,7 @@ __all__ = [
 ]
 
 
-def mu_poisson(lam, slots: int):
+def mu_poisson(lam: ArrayLike, slots: int) -> float | np.ndarray:
     """P(at least one singleton slot) for Poisson(``lam``) transmitters."""
     slots = check_positive_int("slots", slots)
     lam_arr = np.asarray(lam, dtype=float)
@@ -50,7 +52,9 @@ def mu_poisson(lam, slots: int):
     return float(out[()]) if out.ndim == 0 else out
 
 
-def mu_poisson_carrier(lam_tx, lam_cs, slots: int):
+def mu_poisson_carrier(
+    lam_tx: ArrayLike, lam_cs: ArrayLike, slots: int
+) -> float | np.ndarray:
     """Carrier-sense variant: Poisson(``lam_tx``) in-range transmitters,
     Poisson(``lam_cs``) carrier-sense-only transmitters.
 
@@ -97,7 +101,7 @@ def mu_poisson_mixture(lam: float, slots: int, *, tail: float = 1e-12) -> float:
     return float(np.dot(pmf, table[: kmax + 1]))
 
 
-def expected_singleton_slots_poisson(lam, slots: int):
+def expected_singleton_slots_poisson(lam: ArrayLike, slots: int) -> float | np.ndarray:
     """Expected number of singleton slots under Poisson(``lam``) transmitters.
 
     ``E = s * (lam/s) * exp(-lam/s) = lam * exp(-lam/s)``.

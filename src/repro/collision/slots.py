@@ -22,7 +22,9 @@ ring-model recursion are table lookups.
 from __future__ import annotations
 
 import numpy as np
-from scipy.special import gammaln
+from numpy.typing import ArrayLike
+
+from repro.utils.stats import gammaln
 
 from repro.obs import metrics as obs_metrics
 from repro.utils.validation import check_positive_int
@@ -97,7 +99,7 @@ class SlotCollisionTable:
     Thread-safety: instances are not thread-safe; share one per model.
     """
 
-    def __init__(self, initial_kmax: int = 256):
+    def __init__(self, initial_kmax: int = 256) -> None:
         self._kmax = check_positive_int("initial_kmax", initial_kmax)
         self._tables: dict[int, np.ndarray] = {}
 
@@ -129,7 +131,7 @@ class SlotCollisionTable:
         self._tables[slots] = table
         return table
 
-    def mu(self, k, slots: int):
+    def mu(self, k: ArrayLike, slots: int) -> float | np.ndarray:
         """Vectorized ``mu`` for integer item counts ``k`` (array-friendly)."""
         k_arr = np.asarray(k)
         if np.any(k_arr < 0):
@@ -139,7 +141,9 @@ class SlotCollisionTable:
         out = tab[k_arr]
         return float(out[()]) if out.ndim == 0 else out
 
-    def mu_real(self, lam, slots: int, method: str = "interpolate"):
+    def mu_real(
+        self, lam: ArrayLike, slots: int, method: str = "interpolate"
+    ) -> float | np.ndarray:
         """``mu`` extended to real-valued expected counts ``lam``.
 
         ``method="interpolate"`` (default) linearly interpolates between
@@ -170,12 +174,14 @@ class SlotCollisionTable:
 _DEFAULT_TABLE = SlotCollisionTable()
 
 
-def mu_real(lam, slots: int, method: str = "interpolate"):
+def mu_real(
+    lam: ArrayLike, slots: int, method: str = "interpolate"
+) -> float | np.ndarray:
     """Module-level convenience wrapper over a shared :class:`SlotCollisionTable`."""
     return _DEFAULT_TABLE.mu_real(lam, slots, method=method)
 
 
-def expected_singleton_slots(k, slots: int):
+def expected_singleton_slots(k: ArrayLike, slots: int) -> float | np.ndarray:
     """Expected number of singleton buckets for ``k`` items in ``slots`` buckets.
 
     ``E = k * ((s-1)/s)^(k-1)`` — each item is alone in its bucket with

@@ -104,10 +104,10 @@ def figure_to_csv(result: FigureResult) -> str:
     """The series block as CSV: one x column plus one column per series."""
     buf = _io.StringIO()
     writer = csv.writer(buf)
-    headers = [result.x_name] + list(result.series)
+    headers = [result.x_name, *result.series]
     writer.writerow(headers)
-    columns = [list(result.x_values)] + [list(v) for v in result.series.values()]
-    for row in zip(*columns):
+    columns = [list(result.x_values), *(list(v) for v in result.series.values())]
+    for row in zip(*columns, strict=True):
         writer.writerow(
             ["" if isinstance(v, float) and math.isnan(v) else v for v in row]
         )

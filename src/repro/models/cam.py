@@ -41,7 +41,7 @@ class CollisionAwareChannel(Channel):
         but beyond the transmission radius) transmits in it.
     """
 
-    def __init__(self, topology: Topology, *, carrier_sense: bool = False):
+    def __init__(self, topology: Topology, *, carrier_sense: bool = False) -> None:
         super().__init__(topology)
         self.carrier_sense = carrier_sense
         if carrier_sense:
@@ -134,8 +134,9 @@ class CollisionAwareChannel(Channel):
         receivers = np.flatnonzero(ok).astype(np.int64)
         collided = np.flatnonzero(counts >= 2).astype(np.int64)
         tracer = obs_trace.get_tracer()
-        if tracer.enabled:
-            tracer.emit(
+        emit = tracer.emit if tracer.enabled else None
+        if emit is not None:
+            emit(
                 ChannelDelivery(
                     model="cam",
                     n_tx=int(tx.size),

@@ -42,8 +42,9 @@ class CollisionFreeChannel(Channel):
             sender_of[indices[indptr[t] : indptr[t + 1]]] = t
         receivers = np.flatnonzero(sender_of >= 0).astype(np.int64)
         tracer = obs_trace.get_tracer()
-        if tracer.enabled:
-            tracer.emit(
+        emit = tracer.emit if tracer.enabled else None
+        if emit is not None:
+            emit(
                 ChannelDelivery(
                     model="cfm",
                     n_tx=int(tx.size),

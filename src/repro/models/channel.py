@@ -48,7 +48,7 @@ class Delivery:
 class Channel(ABC):
     """Resolves concurrent transmissions into per-receiver deliveries."""
 
-    def __init__(self, topology: Topology):
+    def __init__(self, topology: Topology) -> None:
         self.topology = topology
 
     @abstractmethod

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.utils.validation import check_positive, check_positive_int
 
@@ -61,17 +62,17 @@ class EnergyLedger:
     under different hardware parameters without re-running.
     """
 
-    def __init__(self, n_nodes: int, cost_model: CostModel | None = None):
+    def __init__(self, n_nodes: int, cost_model: CostModel | None = None) -> None:
         self.n_nodes = check_positive_int("n_nodes", n_nodes)
         self.cost_model = cost_model or CostModel.cam()
         self._tx = np.zeros(n_nodes, dtype=np.int64)
         self._rx = np.zeros(n_nodes, dtype=np.int64)
 
-    def record_tx(self, nodes) -> None:
+    def record_tx(self, nodes: ArrayLike) -> None:
         """Record one transmission by each node in ``nodes``."""
         np.add.at(self._tx, np.asarray(nodes, dtype=np.intp), 1)
 
-    def record_rx(self, nodes) -> None:
+    def record_rx(self, nodes: ArrayLike) -> None:
         """Record one successful reception by each node in ``nodes``."""
         np.add.at(self._rx, np.asarray(nodes, dtype=np.intp), 1)
 

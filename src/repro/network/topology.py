@@ -37,7 +37,7 @@ def _grid_cells(positions: np.ndarray, cell: float) -> tuple[np.ndarray, dict]:
     bounds = np.flatnonzero(np.diff(sorted_keys)) + 1
     starts = np.concatenate(([0], bounds))
     ends = np.concatenate((bounds, [len(keys)]))
-    for s, e in zip(starts, ends):
+    for s, e in zip(starts, ends, strict=True):
         buckets[int(sorted_keys[s])] = order[s:e]
     return keys, {"buckets": buckets, "width": width}
 

@@ -39,6 +39,7 @@ __all__ = [
     "PhaseComplete",
     "RunComplete",
     "ChannelDelivery",
+    "TraceEvent",
     "EVENT_TYPES",
     "event_to_dict",
     "event_from_dict",
@@ -116,20 +117,24 @@ class ChannelDelivery:
     n_collided: int
 
 
-EVENT_TYPES = {
+#: Union of every event the observability layer can emit; sinks and the
+#: wire-format helpers below are typed against it.
+TraceEvent = SlotResolved | NodeInformed | PhaseComplete | RunComplete | ChannelDelivery
+
+EVENT_TYPES: dict[str, type[TraceEvent]] = {
     cls.__name__: cls
     for cls in (SlotResolved, NodeInformed, PhaseComplete, RunComplete, ChannelDelivery)
 }
 
 
-def event_to_dict(event) -> dict:
+def event_to_dict(event: TraceEvent) -> dict:
     """The JSONL wire form: the event's fields plus an ``"event"`` tag."""
     d = asdict(event)
     d["event"] = type(event).__name__
     return d
 
 
-def event_from_dict(d: dict):
+def event_from_dict(d: dict) -> TraceEvent:
     """Rebuild a typed event from :func:`event_to_dict` output.
 
     Unknown tags raise ``ValueError``; extra keys are ignored so traces

@@ -27,9 +27,11 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Iterator, TypeVar
 
 __all__ = ["Counter", "Gauge", "Timer", "MetricsRegistry", "registry", "collect"]
+
+_M = TypeVar("_M", "Counter", "Gauge", "Timer")
 
 
 class Counter:
@@ -93,7 +95,7 @@ class MetricsRegistry:
         self.enabled = False
         self._metrics: dict[str, Counter | Gauge | Timer] = {}
 
-    def _get(self, name: str, cls):
+    def _get(self, name: str, cls: type[_M]) -> _M:
         m = self._metrics.get(name)
         if m is None:
             m = self._metrics[name] = cls()

@@ -51,7 +51,7 @@ class SweepProgress:
         *,
         min_interval: float = 0.5,
         stream: IO[str] | None = None,
-    ):
+    ) -> None:
         self.total = total
         self.label = label
         self.min_interval = min_interval

@@ -24,6 +24,10 @@ import subprocess
 import sys
 import time
 from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    import numpy as np
 
 __all__ = [
     "MANIFEST_SCHEMA",
@@ -39,7 +43,7 @@ MANIFEST_SCHEMA = "repro.manifest/1"
 MANIFEST_NAME = "manifest.json"
 
 
-def _jsonable(value):
+def _jsonable(value: Any) -> Any:
     """Recursively convert a value into JSON-safe primitives."""
     if isinstance(value, float):
         return None if math.isnan(value) else value
@@ -111,8 +115,8 @@ def write_manifest(
     directory: str | Path,
     kind: str,
     *,
-    config=None,
-    seed=None,
+    config: Any = None,
+    seed: Any = None,
     params: dict | None = None,
     metrics: dict | None = None,
     started: tuple[float, float] | None = None,
@@ -196,7 +200,7 @@ def load_manifest(path: str | Path) -> dict:
     return doc
 
 
-def config_from_manifest(manifest: dict):
+def config_from_manifest(manifest: dict) -> Any:
     """Reconstruct the recorded configuration object.
 
     Supports the two config kinds the experiment layer writes
@@ -221,7 +225,7 @@ def config_from_manifest(manifest: dict):
     return data
 
 
-def seed_from_manifest(manifest: dict):
+def seed_from_manifest(manifest: dict) -> np.random.SeedSequence:
     """Rebuild the run's root :class:`numpy.random.SeedSequence`."""
     import numpy as np
 

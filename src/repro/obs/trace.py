@@ -24,11 +24,12 @@ import json
 from collections import deque
 from contextlib import contextmanager
 from pathlib import Path
-from typing import IO, Iterable, Iterator
+from typing import IO, Iterable, Iterator, Protocol, TypeVar
 
-from repro.obs.events import event_from_dict, event_to_dict
+from repro.obs.events import TraceEvent, event_from_dict, event_to_dict
 
 __all__ = [
+    "Sink",
     "Tracer",
     "RingBufferSink",
     "JsonlSink",
@@ -41,6 +42,15 @@ __all__ = [
 ]
 
 
+class Sink(Protocol):
+    """Anything with an ``emit(event)`` method can receive events."""
+
+    def emit(self, event: TraceEvent) -> None: ...
+
+
+_E = TypeVar("_E", bound=TraceEvent)
+
+
 class Tracer:
     """Fan-out point for trace events.
 
@@ -51,16 +61,16 @@ class Tracer:
     __slots__ = ("_sinks", "enabled")
 
     def __init__(self) -> None:
-        self._sinks: list = []
+        self._sinks: list[Sink] = []
         self.enabled = False
 
-    def attach(self, sink) -> None:
+    def attach(self, sink: Sink) -> None:
         """Add a sink (idempotent)."""
         if sink not in self._sinks:
             self._sinks.append(sink)
         self.enabled = True
 
-    def detach(self, sink) -> None:
+    def detach(self, sink: Sink) -> None:
         """Remove a sink; unknown sinks are ignored."""
         try:
             self._sinks.remove(sink)
@@ -69,10 +79,10 @@ class Tracer:
         self.enabled = bool(self._sinks)
 
     @property
-    def sinks(self) -> tuple:
+    def sinks(self) -> tuple[Sink, ...]:
         return tuple(self._sinks)
 
-    def emit(self, event) -> None:
+    def emit(self, event: TraceEvent) -> None:
         """Deliver one event to every attached sink."""
         for sink in self._sinks:
             sink.emit(event)
@@ -81,18 +91,18 @@ class Tracer:
 class RingBufferSink:
     """Keep the last ``maxlen`` events in memory (``None`` = unbounded)."""
 
-    def __init__(self, maxlen: int | None = None):
-        self._events: deque = deque(maxlen=maxlen)
+    def __init__(self, maxlen: int | None = None) -> None:
+        self._events: deque[TraceEvent] = deque(maxlen=maxlen)
 
-    def emit(self, event) -> None:
+    def emit(self, event: TraceEvent) -> None:
         self._events.append(event)
 
     @property
-    def events(self) -> list:
+    def events(self) -> list[TraceEvent]:
         """The buffered events, oldest first."""
         return list(self._events)
 
-    def of_type(self, event_type) -> list:
+    def of_type(self, event_type: type[_E]) -> list[_E]:
         """Buffered events of one type, oldest first."""
         return [e for e in self._events if isinstance(e, event_type)]
 
@@ -106,11 +116,11 @@ class RingBufferSink:
 class JsonlSink:
     """Append events to a JSON-lines file (one event object per line)."""
 
-    def __init__(self, path: str | Path):
+    def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self._fh: IO[str] | None = None
 
-    def emit(self, event) -> None:
+    def emit(self, event: TraceEvent) -> None:
         if self._fh is None:
             self._fh = self.path.open("a")
         self._fh.write(json.dumps(event_to_dict(event)) + "\n")
@@ -123,7 +133,7 @@ class JsonlSink:
     def __enter__(self) -> "JsonlSink":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
 
@@ -133,7 +143,7 @@ class NullSink:
     def __init__(self) -> None:
         self.count = 0
 
-    def emit(self, event) -> None:
+    def emit(self, event: TraceEvent) -> None:
         self.count += 1
 
 
@@ -145,18 +155,18 @@ def get_tracer() -> Tracer:
     return _TRACER
 
 
-def attach(sink) -> None:
+def attach(sink: Sink) -> None:
     """Attach a sink to the global tracer until :func:`detach`."""
     _TRACER.attach(sink)
 
 
-def detach(sink) -> None:
+def detach(sink: Sink) -> None:
     """Detach a sink from the global tracer."""
     _TRACER.detach(sink)
 
 
 @contextmanager
-def capture(sink=None) -> Iterator:
+def capture(sink: Sink | None = None) -> Iterator[Sink]:
     """Attach ``sink`` (default: a fresh unbounded ring buffer) for a block.
 
     Yields the sink; on exit it is detached and, if it has a ``close``
@@ -179,7 +189,7 @@ def capture(sink=None) -> Iterator:
             close()
 
 
-def read_jsonl(path: str | Path) -> Iterable:
+def read_jsonl(path: str | Path) -> Iterable[TraceEvent]:
     """Iterate the typed events of a :class:`JsonlSink` file."""
     with Path(path).open() as fh:
         for line in fh:

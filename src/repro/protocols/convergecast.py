@@ -181,7 +181,7 @@ def run_convergecast(
             # cleanly this slot.
             got = np.zeros(len(tx), dtype=bool)
             receiver_sender = dict(
-                zip(delivery.receivers.tolist(), delivery.senders.tolist())
+                zip(delivery.receivers.tolist(), delivery.senders.tolist(), strict=True)
             )
             for i, s in enumerate(tx.tolist()):
                 p = int(parents[s])

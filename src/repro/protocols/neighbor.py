@@ -54,7 +54,7 @@ class NeighborKnowledgeRelay(RelayPolicy):
             s = int(s)
             if s < 0:
                 continue
-            block = np.append(topo.neighbors(s), s)
+            block = np.concatenate([topo.neighbors(s), [s]])
             covered = block if covered is None else np.union1d(covered, block)
         if covered is None:
             return True  # nothing known: fail open
@@ -71,7 +71,7 @@ class NeighborKnowledgeRelay(RelayPolicy):
         n = len(new_nodes)
         will = np.ones(n, dtype=bool)
         for i, (node, sender) in enumerate(
-            zip(np.asarray(new_nodes), np.asarray(first_senders))
+            zip(np.asarray(new_nodes), np.asarray(first_senders), strict=True)
         ):
             will[i] = self._uncovered_remains(node, [sender], topo)
         if self.p < 1.0:

@@ -179,7 +179,7 @@ def run_broadcast(
             duplicates[receivers[~fresh_mask]] += 1
             informed[newly] = True
             if overheard is not None:
-                for r, s in zip(receivers.tolist(), senders.tolist()):
+                for r, s in zip(receivers.tolist(), senders.tolist(), strict=True):
                     overheard.setdefault(r, []).append(s)
 
             if len(newly):
@@ -217,7 +217,7 @@ def run_broadcast(
                         n_collisions=int(len(delivery.collided)),
                     )
                 )
-                for node, snd in zip(newly.tolist(), senders[fresh_mask].tolist()):
+                for node, snd in zip(newly.tolist(), senders[fresh_mask].tolist(), strict=True):
                     emit(
                         NodeInformed(
                             node=int(node), sender=int(snd), phase=phase, slot=abs_slot

@@ -126,7 +126,7 @@ def simulate_pb(
     config: SimulationConfig,
     p: float,
     replications: int = 30,
-    seed: SeedLike = 0,
+    seed: SeedLike = None,
     *,
     engine: str = "vector",
     workers: int | None = 1,
@@ -150,7 +150,7 @@ def sweep_grid(
     rho_grid: Sequence[float],
     p_grid: Sequence[float],
     replications: int,
-    seed: SeedLike = 0,
+    seed: SeedLike,
     *,
     policy_factory: Callable[[float], RelayPolicy] = ProbabilisticRelay,
     engine: str = "vector",
@@ -230,7 +230,7 @@ def sweep_grid(
 
     if reuse_deployments:
         rho_roots = root.spawn(len(rhos))
-        for cfg, rho_root in zip(configs, rho_roots):
+        for cfg, rho_root in zip(configs, rho_roots, strict=True):
             cells = []
             for cell in rho_root.spawn(replications):
                 # Separate streams for the deployment draw and the

@@ -64,7 +64,7 @@ class RngFactory:
     True
     """
 
-    def __init__(self, seed: SeedLike = None):
+    def __init__(self, seed: SeedLike = None) -> None:
         self._root = as_seed_sequence(seed)
         self._spawned = 0
 

@@ -8,13 +8,25 @@ milliseconds.  The implementation is Acklam's rational approximation
 (relative error < 1.15e-9 on its own) polished with one Halley step
 against the exact ``math.erfc`` CDF, which lands within ~1e-15 of
 ``scipy.stats.norm.ppf`` over the whole open interval.
+
+:func:`gammaln` replaces ``scipy.special.gammaln`` in the collision
+kernels (the only scipy call the runtime ever made), completing the
+scipy decoupling: scipy is now a test-only dependency, consulted solely
+by the equivalence tests.  The implementation is the classic Lanczos
+approximation (g = 7, 9 coefficients) in plain numpy, with the
+reflection formula below ``x = 0.5``; it agrees with scipy to a few
+ulps (< 1e-14 relative) on the positive axis the kernels use and to
+< 1e-12 on negative non-integers.
 """
 
 from __future__ import annotations
 
 import math
 
-__all__ = ["norm_ppf"]
+import numpy as np
+from numpy.typing import ArrayLike
+
+__all__ = ["norm_ppf", "gammaln"]
 
 # Acklam's coefficients for the inverse normal CDF.
 _A = (
@@ -98,3 +110,57 @@ def norm_ppf(q: float) -> float:
         e = 0.5 * math.erfc(-x / _SQRT2) - q
     u = e * _SQRT_2PI * math.exp(0.5 * x * x)
     return x - u / (1.0 + 0.5 * x * u)
+
+
+# Lanczos coefficients for g = 7 (the standard 9-term double-precision
+# set); the partial-fraction form below is accurate to a few ulps of
+# ``ln Γ`` for z >= 0.5.
+_LANCZOS = (
+    0.99999999999980993,
+    676.5203681218851,
+    -1259.1392167224028,
+    771.32342877765313,
+    -176.61502916214059,
+    12.507343278686905,
+    -0.13857109526572012,
+    9.9843695780195716e-6,
+    1.5056327351493116e-7,
+)
+_HALF_LOG_2PI = 0.5 * math.log(2.0 * math.pi)
+
+
+def _lanczos_lgamma(z: np.ndarray) -> np.ndarray:
+    """``ln Γ(z)`` for ``z >= 0.5`` (callers mask; no domain checks)."""
+    a = np.full_like(z, _LANCZOS[0])
+    for i, c in enumerate(_LANCZOS[1:]):
+        a += c / (z + i)
+    t = z + 6.5  # z + g - 0.5
+    return _HALF_LOG_2PI + (z - 0.5) * np.log(t) - t + np.log(a)
+
+
+def gammaln(x: ArrayLike) -> float | np.ndarray:
+    """``ln |Γ(x)|``, vectorized, scipy-free.
+
+    Matches ``scipy.special.gammaln`` to well under 1e-12 relative
+    error everywhere it is finite; non-positive integers (the poles of
+    ``Γ``) return ``+inf`` exactly as scipy does.  Scalar input returns
+    a python ``float``, array input an ``ndarray``.
+    """
+    arr = np.asarray(x, dtype=float)
+    out = np.empty_like(arr)
+    direct = arr >= 0.5
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out[direct] = _lanczos_lgamma(arr[direct])
+        refl = arr[~direct]
+        # Reflection: ln|Γ(x)| = ln(π / |sin πx|) − ln Γ(1 − x).
+        out[~direct] = np.log(np.pi / np.abs(np.sin(np.pi * refl))) - _lanczos_lgamma(
+            1.0 - refl
+        )
+    # Poles of Γ: sin(πx) only hits 0.0 exactly for |x| small enough that
+    # πx is exact, so pin every non-positive integer explicitly.
+    with np.errstate(invalid="ignore"):
+        pole = (arr <= 0.0) & (np.floor(arr) == arr)
+    out[pole] = np.inf
+    out[np.isposinf(arr)] = np.inf
+    out[np.isnan(arr)] = np.nan
+    return float(out[()]) if out.ndim == 0 else out

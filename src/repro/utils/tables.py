@@ -40,13 +40,15 @@ def format_table(
     where a constraint is infeasible, e.g. Fig. 5a for tiny ``p``).
     """
     str_rows = [[_fmt_cell(c, precision) for c in row] for row in rows]
-    cols = [list(col) for col in zip(*([list(headers)] + str_rows))] if str_rows else [
-        [h] for h in headers
-    ]
+    cols = (
+        [list(col) for col in zip(list(headers), *str_rows, strict=True)]
+        if str_rows
+        else [[h] for h in headers]
+    )
     widths = [max(len(cell) for cell in col) for col in cols]
 
     def line(cells: Sequence[str]) -> str:
-        return "  ".join(cell.rjust(w) for cell, w in zip(cells, widths))
+        return "  ".join(cell.rjust(w) for cell, w in zip(cells, widths, strict=True))
 
     out = []
     if title:
@@ -66,13 +68,13 @@ def format_series(
     title: str | None = None,
 ) -> str:
     """Render one x-column against several named y-series (a 'figure' as text)."""
-    headers = [x_name] + list(series)
-    columns = [list(x_values)] + [list(v) for v in series.values()]
+    headers = [x_name, *series]
+    columns = [list(x_values), *(list(v) for v in series.values())]
     n = len(columns[0])
-    for name, col in zip(headers, columns):
+    for name, col in zip(headers, columns, strict=True):
         if len(col) != n:
             raise ValueError(f"series {name!r} has {len(col)} points, expected {n}")
-    rows = list(zip(*columns))
+    rows = list(zip(*columns, strict=True))
     return format_table(headers, rows, precision=precision, title=title)
 
 

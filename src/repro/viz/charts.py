@@ -81,7 +81,7 @@ def line_chart(
         ys = np.asarray(list(values), dtype=float)
         if ys.shape != xs.shape:
             raise ValueError(f"series {name!r} length {ys.size} != x length {xs.size}")
-        for xv, yv in zip(xs, ys):
+        for xv, yv in zip(xs, ys, strict=True):
             if not math.isfinite(yv):
                 continue
             col = int(round((xv - xmin) / (xmax - xmin) * (width - 1)))

@@ -17,6 +17,7 @@ from repro.protocols import (
     SimpleFlooding,
 )
 from repro.sim.config import SimulationConfig
+from repro.errors import ConfigurationError
 
 
 @pytest.fixture
@@ -34,7 +35,7 @@ class TestClosedForm:
         assert distance_effective_probability(0.5, p=0.4) == pytest.approx(0.3)
 
     def test_invalid_threshold(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ConfigurationError):
             distance_effective_probability(1.5)
 
 

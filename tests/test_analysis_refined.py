@@ -10,6 +10,7 @@ from repro.analysis.refined import (
     success_rate_vs_density,
 )
 from repro.models.costs import CostModel
+from repro.errors import ConfigurationError
 
 
 class TestSuccessRate:
@@ -73,7 +74,7 @@ class TestDensityAwareCostModel:
         assert model.effective() == CostModel()
 
     def test_zero_rate_rejected(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ConfigurationError):
             DensityAwareCostModel(base=CostModel(), success_rate=0.0)
 
     def test_attempts_grow_with_density(self):

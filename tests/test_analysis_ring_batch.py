@@ -43,18 +43,18 @@ class TestRunBatchEquivalence:
         model = RingModel(AnalysisConfig(n_rings=5, rho=rho))
         traces = model.run_batch(self.GRID)
         assert len(traces) == self.GRID.size
-        for p, trace in zip(self.GRID, traces):
+        for p, trace in zip(self.GRID, traces, strict=True):
             assert_traces_match(trace, model.run(float(p)))
 
     def test_matches_scalar_run_truncated(self, small_config):
         model = RingModel(small_config)
-        for p, trace in zip(self.GRID, model.run_batch(self.GRID, max_phases=4)):
+        for p, trace in zip(self.GRID, model.run_batch(self.GRID, max_phases=4), strict=True):
             assert_traces_match(trace, model.run(float(p), max_phases=4))
 
     def test_carrier_model_matches_scalar(self):
         model = CarrierRingModel(AnalysisConfig(n_rings=5, rho=60.0))
         grid = self.GRID[::3]
-        for p, trace in zip(grid, model.run_batch(grid, max_phases=60)):
+        for p, trace in zip(grid, model.run_batch(grid, max_phases=60), strict=True):
             assert_traces_match(trace, model.run(float(p), max_phases=60))
 
     def test_single_element_batch(self, small_config):
@@ -66,14 +66,14 @@ class TestRunBatchEquivalence:
         model = RingModel(small_config)
         initial = np.array([5.0, 2.0, 0.0])
         traces = model.run_batch([0.2, 0.9], initial_informed=initial)
-        for p, trace in zip((0.2, 0.9), traces):
+        for p, trace in zip((0.2, 0.9), traces, strict=True):
             assert_traces_match(
                 trace, model.run(p, initial_informed=initial)
             )
 
     def test_degenerate_probabilities(self, small_config):
         model = RingModel(small_config)
-        for p, trace in zip((0.0, 1.0), model.run_batch([0.0, 1.0])):
+        for p, trace in zip((0.0, 1.0), model.run_batch([0.0, 1.0]), strict=True):
             assert_traces_match(trace, model.run(p))
 
 

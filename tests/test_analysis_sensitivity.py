@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.analysis.config import AnalysisConfig
+from repro.errors import ConfigurationError
 from repro.analysis.sensitivity import (
     density_mismatch_penalty,
     robust_probability_band,
@@ -56,7 +57,7 @@ class TestRobustnessBand:
         assert band.relative_width >= 0.0
 
     def test_invalid_tolerance(self, cfg):
-        with pytest.raises(Exception):
+        with pytest.raises(ConfigurationError):
             robust_probability_band(
                 cfg, "reachability_at_latency", 5, tolerance=1.5
             )

@@ -59,7 +59,7 @@ class TestTraceProperties:
     def test_reachability_monotone_nondecreasing(self, trace):
         ts = np.linspace(0, trace.phases + 1, 17)
         vals = [trace.reachability_after(t) for t in ts]
-        assert all(b >= a - 1e-12 for a, b in zip(vals, vals[1:]))
+        assert all(b >= a - 1e-12 for a, b in zip(vals, vals[1:], strict=False))
 
     @given(trace=traces())
     @settings(max_examples=80, deadline=None)
@@ -96,7 +96,7 @@ class TestTraceProperties:
     def test_broadcasts_at_monotone(self, trace):
         ts = np.linspace(0, trace.phases + 1, 13)
         vals = [trace.broadcasts_at(t) for t in ts]
-        assert all(b >= a - 1e-12 for a, b in zip(vals, vals[1:]))
+        assert all(b >= a - 1e-12 for a, b in zip(vals, vals[1:], strict=False))
 
     @given(trace=traces())
     @settings(max_examples=60, deadline=None)

@@ -38,7 +38,7 @@ class TestFrontier:
 
     def test_no_point_dominates_a_frontier_point(self, curve):
         p, r, e = curve.frontier()
-        for ri, ei in zip(r, e):
+        for ri, ei in zip(r, e, strict=True):
             dominates = (
                 (curve.reachability >= ri)
                 & (curve.broadcasts <= ei)

@@ -122,7 +122,7 @@ class TestProperties:
     @settings(max_examples=40, deadline=None)
     def test_decreasing_in_carrier_traffic(self, k1, s):
         vals = [mu_carrier_exact(k1, k2, s) for k2 in range(8)]
-        assert all(b <= a + 1e-12 for a, b in zip(vals, vals[1:]))
+        assert all(b <= a + 1e-12 for a, b in zip(vals, vals[1:], strict=False))
 
     @given(k2=st.integers(min_value=0, max_value=8))
     @settings(max_examples=30, deadline=None)

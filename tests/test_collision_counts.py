@@ -87,4 +87,4 @@ class TestDuplicatesAtLeast:
 
     def test_monotone_in_threshold(self):
         vals = [duplicates_at_least(6, 4, t) for t in range(6)]
-        assert all(b <= a + 1e-12 for a, b in zip(vals, vals[1:]))
+        assert all(b <= a + 1e-12 for a, b in zip(vals, vals[1:], strict=False))

@@ -187,7 +187,7 @@ class TestProperties:
     def test_increasing_in_slots(self, k):
         # More slots can only help.
         vals = [mu_exact(k, s) for s in range(1, 8)]
-        assert all(b >= a - 1e-12 for a, b in zip(vals, vals[1:]))
+        assert all(b >= a - 1e-12 for a, b in zip(vals, vals[1:], strict=False))
 
     @given(
         lam=st.floats(min_value=0.0, max_value=50.0),

@@ -5,6 +5,7 @@ import pytest
 from scipy import stats
 
 from repro.geometry.sampling import sample_annulus, sample_disk, sample_ring_offsets
+from repro.errors import ConfigurationError
 
 
 class TestSampleDisk:
@@ -32,7 +33,7 @@ class TestSampleDisk:
         assert stats.kstest(theta, "uniform").pvalue > 1e-3
 
     def test_invalid_radius(self, rng):
-        with pytest.raises(Exception):
+        with pytest.raises(ConfigurationError):
             sample_disk(10, -1.0, rng)
 
 

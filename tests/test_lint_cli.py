@@ -1,0 +1,171 @@
+"""CLI behaviour: exit codes, baseline round-trip, reporters."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from textwrap import dedent
+
+import pytest
+
+from repro.analysis.lint.baseline import load_baseline, save_baseline
+from repro.analysis.lint.cli import main
+from repro.analysis.lint.core import check_paths
+
+CLEAN = """
+    import numpy as np
+
+    def informed_count(rng: np.random.Generator) -> float:
+        return float(rng.random())
+"""
+
+VIOLATION = """
+    import numpy as np
+
+    np.random.seed(42)
+"""
+
+SUPPRESSED = """
+    import numpy as np
+
+    np.random.seed(42)  # repro: allow(det-global-rng) — fixture exercises the legacy API
+"""
+
+
+@pytest.fixture
+def repo(tmp_path: Path, monkeypatch: pytest.MonkeyPatch) -> Path:
+    """A throwaway repo layout; the CLI resolves paths against cwd."""
+    (tmp_path / "src" / "repro" / "sim").mkdir(parents=True)
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+def write(repo: Path, rel: str, body: str) -> None:
+    (repo / rel).write_text(dedent(body), encoding="utf-8")
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, repo, capsys):
+        write(repo, "src/repro/sim/mod.py", CLEAN)
+        assert main(["src"]) == 0
+        assert "OK: no new findings" in capsys.readouterr().out
+
+    def test_violation_exits_one(self, repo, capsys):
+        write(repo, "src/repro/sim/mod.py", VIOLATION)
+        assert main(["src"]) == 1
+        out = capsys.readouterr().out
+        assert "det-global-rng" in out
+        assert "FAIL: 1 new finding" in out
+
+    def test_suppressed_violation_exits_zero(self, repo, capsys):
+        write(repo, "src/repro/sim/mod.py", SUPPRESSED)
+        assert main(["src"]) == 0
+        out = capsys.readouterr().out
+        assert "1 suppressed finding(s)" in out
+        assert "legacy API" in out
+
+    def test_missing_path_exits_two(self, repo, capsys):
+        assert main(["no-such-dir"]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_unknown_rule_exits_two(self, repo, capsys):
+        write(repo, "src/repro/sim/mod.py", CLEAN)
+        assert main(["--rule", "no-such-rule", "src"]) == 2
+
+    def test_rule_filter_restricts_checks(self, repo):
+        write(repo, "src/repro/sim/mod.py", VIOLATION)
+        assert main(["--rule", "det-wallclock", "src"]) == 0
+        assert main(["--rule", "det-global-rng", "src"]) == 1
+
+    def test_list_rules(self, repo, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "det-global-rng" in out and "err-silent-except" in out
+
+    def test_unparseable_file_is_skipped_with_warning(self, repo, capsys):
+        write(repo, "src/repro/sim/mod.py", CLEAN)
+        write(repo, "src/repro/sim/broken.py", "def f(:\n")
+        assert main(["src"]) == 0
+        assert "unparseable" in capsys.readouterr().err
+
+
+class TestBaseline:
+    def test_write_then_check_round_trips(self, repo, capsys):
+        write(repo, "src/repro/sim/mod.py", VIOLATION)
+        assert main(["--write-baseline", "src"]) == 0
+        assert main(["src"]) == 0  # grandfathered, not failing
+        out = capsys.readouterr().out
+        assert "baselined finding(s)" in out
+
+    def test_new_finding_on_top_of_baseline_fails(self, repo):
+        write(repo, "src/repro/sim/mod.py", VIOLATION)
+        assert main(["--write-baseline", "src"]) == 0
+        write(
+            repo,
+            "src/repro/sim/other.py",
+            """
+            import time
+
+            stamp = time.time()
+            """,
+        )
+        assert main(["src"]) == 1
+
+    def test_baseline_survives_line_drift(self, repo):
+        write(repo, "src/repro/sim/mod.py", VIOLATION)
+        assert main(["--write-baseline", "src"]) == 0
+        write(repo, "src/repro/sim/mod.py", "x = 1\ny = 2\n" + dedent(VIOLATION))
+        assert main(["src"]) == 0
+
+    def test_no_baseline_flag_ignores_it(self, repo):
+        write(repo, "src/repro/sim/mod.py", VIOLATION)
+        assert main(["--write-baseline", "src"]) == 0
+        assert main(["--no-baseline", "src"]) == 1
+
+    def test_fixing_the_line_retires_the_fingerprint(self, repo):
+        write(repo, "src/repro/sim/mod.py", VIOLATION)
+        assert main(["--write-baseline", "src"]) == 0
+        baseline = load_baseline("lint-baseline.json")
+        assert len(baseline) == 1
+        write(repo, "src/repro/sim/mod.py", CLEAN)
+        assert main(["src"]) == 0
+
+    def test_duplicate_snippets_get_distinct_fingerprints(self, repo):
+        write(
+            repo,
+            "src/repro/sim/mod.py",
+            """
+            import numpy as np
+
+            np.random.seed(42)
+            np.random.seed(42)
+            """,
+        )
+        findings, _ = check_paths(["src"], root=repo)
+        saved = save_baseline(repo / "b.json", findings)
+        assert len(saved) == 2
+
+    def test_corrupt_baseline_version_exits_two(self, repo, capsys):
+        write(repo, "src/repro/sim/mod.py", CLEAN)
+        (repo / "lint-baseline.json").write_text('{"version": 99, "findings": []}')
+        assert main(["src"]) == 2
+        assert "unsupported baseline version" in capsys.readouterr().err
+
+
+class TestJsonReport:
+    def test_json_output_is_valid_and_complete(self, repo, capsys):
+        write(repo, "src/repro/sim/mod.py", VIOLATION)
+        assert main(["--format", "json", "src"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["counts"]["new"] == 1
+        (finding,) = doc["new"]
+        assert finding["rule"] == "det-global-rng"
+        assert finding["path"] == "src/repro/sim/mod.py"
+        assert finding["fingerprint"]
+
+    def test_json_clean_tree(self, repo, capsys):
+        write(repo, "src/repro/sim/mod.py", CLEAN)
+        assert main(["--format", "json", "src"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["counts"] == {"new": 0, "baselined": 0, "suppressed": 0}
+        assert doc["files_checked"] == 1

@@ -1,0 +1,513 @@
+"""Per-rule self-tests: fixture snippets that must and must not trigger.
+
+Every rule gets at least one trigger / no-trigger pair; the synthetic
+paths place each snippet inside or outside the rule's scope on purpose.
+"""
+
+from __future__ import annotations
+
+from textwrap import dedent
+
+from repro.analysis.lint import all_rules, check_source
+from repro.analysis.lint.core import Finding
+
+
+def findings(source: str, path: str, rule: str) -> list[Finding]:
+    hits = [f for f in check_source(dedent(source), path) if f.rule == rule]
+    return [f for f in hits if not f.suppressed]
+
+
+class TestRegistry:
+    def test_expected_rules_registered(self):
+        ids = {r.id for r in all_rules()}
+        assert {
+            "det-global-rng",
+            "det-wallclock",
+            "dep-runtime-scipy",
+            "obs-neutrality",
+            "vec-object-dtype",
+            "api-seed-kwarg",
+            "err-silent-except",
+        } <= ids
+
+    def test_rules_have_summaries(self):
+        for rule in all_rules():
+            assert rule.id and rule.summary
+
+
+class TestDetGlobalRng:
+    RULE = "det-global-rng"
+
+    def test_np_random_seed_triggers(self):
+        src = """
+            import numpy as np
+            np.random.seed(42)
+        """
+        assert len(findings(src, "src/repro/sim/x.py", self.RULE)) == 1
+
+    def test_np_random_distribution_triggers(self):
+        src = """
+            import numpy as np
+            x = np.random.uniform(0.0, 1.0, 10)
+        """
+        assert len(findings(src, "benchmarks/bench_x.py", self.RULE)) == 1
+
+    def test_stdlib_random_triggers(self):
+        src = """
+            import random
+            random.shuffle(items)
+        """
+        assert len(findings(src, "examples/x.py", self.RULE)) == 1
+
+    def test_from_import_triggers(self):
+        src = """
+            from random import randint
+            k = randint(0, 10)
+        """
+        assert len(findings(src, "src/repro/sim/x.py", self.RULE)) == 1
+
+    def test_from_numpy_random_import_triggers(self):
+        src = """
+            from numpy.random import seed
+            seed(7)
+        """
+        assert len(findings(src, "src/repro/sim/x.py", self.RULE)) == 1
+
+    def test_default_rng_ok(self):
+        src = """
+            import numpy as np
+            rng = np.random.default_rng(42)
+            x = rng.random(10)
+            ss = np.random.SeedSequence(7)
+        """
+        assert findings(src, "src/repro/sim/x.py", self.RULE) == []
+
+    def test_random_instance_ok(self):
+        src = """
+            import random
+            r = random.Random(42)
+        """
+        assert findings(src, "src/repro/sim/x.py", self.RULE) == []
+
+    def test_utils_rng_allowlisted(self):
+        src = """
+            import numpy as np
+            np.random.seed(0)
+        """
+        assert findings(src, "src/repro/utils/rng.py", self.RULE) == []
+
+
+class TestDetWallclock:
+    RULE = "det-wallclock"
+
+    def test_time_time_triggers(self):
+        src = """
+            import time
+            stamp = time.time()
+        """
+        assert len(findings(src, "src/repro/sim/engine.py", self.RULE)) == 1
+
+    def test_from_time_import_triggers(self):
+        src = """
+            from time import time
+            stamp = time()
+        """
+        assert len(findings(src, "src/repro/sim/engine.py", self.RULE)) == 1
+
+    def test_datetime_now_triggers(self):
+        src = """
+            from datetime import datetime
+            stamp = datetime.now()
+        """
+        assert len(findings(src, "src/repro/models/cam.py", self.RULE)) == 1
+
+    def test_datetime_module_now_triggers(self):
+        src = """
+            import datetime
+            stamp = datetime.datetime.now()
+        """
+        assert len(findings(src, "src/repro/models/cam.py", self.RULE)) == 1
+
+    def test_perf_counter_ok(self):
+        src = """
+            import time
+            t0 = time.perf_counter()
+        """
+        assert findings(src, "src/repro/sim/engine.py", self.RULE) == []
+
+    def test_provenance_allowlisted(self):
+        src = """
+            import time
+            stamp = time.time()
+        """
+        assert findings(src, "src/repro/obs/provenance.py", self.RULE) == []
+
+    def test_out_of_scope_paths_ok(self):
+        src = """
+            import time
+            stamp = time.time()
+        """
+        assert findings(src, "benchmarks/bench_x.py", self.RULE) == []
+
+
+class TestDepRuntimeScipy:
+    RULE = "dep-runtime-scipy"
+
+    def test_from_scipy_import_triggers(self):
+        src = """
+            from scipy.special import gammaln
+        """
+        assert len(findings(src, "src/repro/collision/slots.py", self.RULE)) == 1
+
+    def test_plain_import_triggers(self):
+        src = """
+            import scipy.stats
+        """
+        assert len(findings(src, "src/repro/utils/stats.py", self.RULE)) == 1
+
+    def test_function_level_import_triggers(self):
+        src = """
+            def f():
+                from scipy.optimize import brentq
+                return brentq
+        """
+        assert len(findings(src, "src/repro/analysis/optimizer.py", self.RULE)) == 1
+
+    def test_type_checking_import_ok(self):
+        src = """
+            from typing import TYPE_CHECKING
+            if TYPE_CHECKING:
+                from scipy.sparse import csr_matrix
+        """
+        assert findings(src, "src/repro/network/topology.py", self.RULE) == []
+
+    def test_tests_may_import_scipy(self):
+        src = """
+            from scipy.special import gammaln
+        """
+        assert findings(src, "tests/test_x.py", self.RULE) == []
+
+    def test_scipyish_name_ok(self):
+        src = """
+            import scipylike
+        """
+        assert findings(src, "src/repro/utils/stats.py", self.RULE) == []
+
+
+class TestObsNeutrality:
+    RULE = "obs-neutrality"
+
+    def test_metrics_field_without_compare_false_triggers(self):
+        src = """
+            from dataclasses import dataclass, field
+
+            @dataclass(frozen=True)
+            class RunResult:
+                reach: float
+                metrics: dict | None = field(default=None, repr=False)
+        """
+        assert len(findings(src, "src/repro/sim/results.py", self.RULE)) == 1
+
+    def test_metrics_plain_default_triggers(self):
+        src = """
+            from dataclasses import dataclass
+
+            @dataclass
+            class SweepResult:
+                metrics: dict | None = None
+        """
+        assert len(findings(src, "src/repro/sim/results.py", self.RULE)) == 1
+
+    def test_metrics_with_compare_false_ok(self):
+        src = """
+            from dataclasses import dataclass, field
+
+            @dataclass(frozen=True)
+            class RunResult:
+                reach: float
+                metrics: dict | None = field(default=None, repr=False, compare=False)
+        """
+        assert findings(src, "src/repro/sim/results.py", self.RULE) == []
+
+    def test_semantic_trace_field_ok(self):
+        """``trace: BroadcastTrace`` is the result, not telemetry."""
+        src = """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class RunResult:
+                trace: BroadcastTrace
+        """
+        assert findings(src, "src/repro/sim/results.py", self.RULE) == []
+
+    def test_telemetry_typed_field_triggers(self):
+        src = """
+            from dataclasses import dataclass
+
+            @dataclass
+            class DebugResult:
+                buffer: RingBufferSink | None = None
+        """
+        assert len(findings(src, "src/repro/sim/results.py", self.RULE)) == 1
+
+    def test_non_result_dataclass_ok(self):
+        src = """
+            from dataclasses import dataclass
+
+            @dataclass
+            class Snapshot:
+                metrics: dict | None = None
+        """
+        assert findings(src, "src/repro/sim/results.py", self.RULE) == []
+
+    def test_direct_tracer_emit_triggers(self):
+        src = """
+            from repro.obs import trace as obs_trace
+
+            def f(ev):
+                tracer = obs_trace.get_tracer()
+                if tracer.enabled:
+                    tracer.emit(ev)
+        """
+        assert len(findings(src, "src/repro/models/cam.py", self.RULE)) == 1
+
+    def test_get_tracer_chained_emit_triggers(self):
+        src = """
+            from repro.obs.trace import get_tracer
+
+            def f(ev):
+                get_tracer().emit(ev)
+        """
+        assert len(findings(src, "src/repro/models/cam.py", self.RULE)) == 1
+
+    def test_hoisted_emit_ok(self):
+        src = """
+            from repro.obs import trace as obs_trace
+
+            def f(ev):
+                tracer = obs_trace.get_tracer()
+                emit = tracer.emit if tracer.enabled else None
+                if emit is not None:
+                    emit(ev)
+        """
+        assert findings(src, "src/repro/sim/engine.py", self.RULE) == []
+
+    def test_obs_package_may_emit(self):
+        src = """
+            def fan_out(tracer, ev):
+                tracer.emit(ev)
+        """
+        assert findings(src, "src/repro/obs/trace.py", self.RULE) == []
+
+
+class TestVecObjectDtype:
+    RULE = "vec-object-dtype"
+
+    def test_dtype_object_triggers(self):
+        src = """
+            import numpy as np
+            a = np.empty(5, dtype=object)
+        """
+        assert len(findings(src, "src/repro/collision/slots.py", self.RULE)) == 1
+
+    def test_np_vectorize_triggers(self):
+        src = """
+            import numpy as np
+            f = np.vectorize(lambda x: x + 1)
+        """
+        assert len(findings(src, "src/repro/geometry/rings.py", self.RULE)) == 1
+
+    def test_np_append_triggers(self):
+        src = """
+            import numpy as np
+
+            def grow(a, b):
+                return np.append(a, b)
+        """
+        assert len(findings(src, "src/repro/sim/engine.py", self.RULE)) == 1
+
+    def test_float_dtype_ok(self):
+        src = """
+            import numpy as np
+            a = np.zeros(5, dtype=np.float64)
+            b = np.zeros(5, dtype=np.intp)
+        """
+        assert findings(src, "src/repro/collision/slots.py", self.RULE) == []
+
+    def test_cold_path_out_of_scope(self):
+        src = """
+            import numpy as np
+            a = np.empty(5, dtype=object)
+        """
+        assert findings(src, "src/repro/experiments/report.py", self.RULE) == []
+
+
+class TestApiSeedKwarg:
+    RULE = "api-seed-kwarg"
+
+    def test_missing_seed_triggers(self):
+        src = """
+            def run_study(config):
+                return config
+        """
+        assert len(findings(src, "src/repro/sim/runner.py", self.RULE)) == 1
+
+    def test_literal_int_default_triggers(self):
+        src = """
+            def sweep_densities(grid, seed=1234):
+                return grid
+        """
+        assert len(findings(src, "src/repro/sim/runner.py", self.RULE)) == 1
+
+    def test_keyword_only_literal_default_triggers(self):
+        src = """
+            def replicate_runs(config, *, seed=0):
+                return config
+        """
+        assert len(findings(src, "src/repro/sim/runner.py", self.RULE)) == 1
+
+    def test_seed_param_ok(self):
+        src = """
+            def run_study(config, seed):
+                return config, seed
+        """
+        assert findings(src, "src/repro/sim/runner.py", self.RULE) == []
+
+    def test_rng_param_with_none_default_ok(self):
+        src = """
+            def simulate_field(config, rng=None):
+                return config
+        """
+        assert findings(src, "src/repro/sim/runner.py", self.RULE) == []
+
+    def test_private_function_ok(self):
+        src = """
+            def _run_inner(config):
+                return config
+        """
+        assert findings(src, "src/repro/sim/runner.py", self.RULE) == []
+
+    def test_method_ok(self):
+        """Methods get their seed at construction; only module-level
+        entry points are the public seams the rule guards."""
+        src = """
+            class Engine:
+                def run(self):
+                    return None
+        """
+        assert findings(src, "src/repro/sim/desimpl.py", self.RULE) == []
+
+    def test_unrelated_name_ok(self):
+        src = """
+            def resolve_slot(tx):
+                return tx
+        """
+        assert findings(src, "src/repro/sim/runner.py", self.RULE) == []
+
+    def test_out_of_scope_path_ok(self):
+        src = """
+            def run_bench(config):
+                return config
+        """
+        assert findings(src, "benchmarks/bench_x.py", self.RULE) == []
+
+
+class TestErrSilentExcept:
+    RULE = "err-silent-except"
+
+    def test_bare_except_triggers(self):
+        src = """
+            try:
+                work()
+            except:
+                cleanup()
+        """
+        assert len(findings(src, "src/repro/sim/engine.py", self.RULE)) == 1
+
+    def test_except_exception_pass_triggers(self):
+        src = """
+            try:
+                work()
+            except Exception:
+                pass
+        """
+        assert len(findings(src, "src/repro/utils/parallel.py", self.RULE)) == 1
+
+    def test_except_exception_handled_ok(self):
+        src = """
+            try:
+                work()
+            except Exception as exc:
+                log(exc)
+                raise
+        """
+        assert findings(src, "src/repro/utils/parallel.py", self.RULE) == []
+
+    def test_narrow_except_pass_ok(self):
+        src = """
+            try:
+                work()
+            except KeyError:
+                pass
+        """
+        assert findings(src, "src/repro/utils/parallel.py", self.RULE) == []
+
+    def test_out_of_scope_ok(self):
+        src = """
+            try:
+                work()
+            except:
+                pass
+        """
+        assert findings(src, "tests/test_x.py", self.RULE) == []
+
+
+class TestSuppressions:
+    def test_same_line_suppression_with_reason(self):
+        src = """
+            import numpy as np
+            np.random.seed(42)  # repro: allow(det-global-rng) — fixture needs the legacy API
+        """
+        hits = [
+            f
+            for f in check_source(dedent(src), "src/repro/sim/x.py")
+            if f.rule == "det-global-rng"
+        ]
+        assert len(hits) == 1 and hits[0].suppressed
+        assert "legacy API" in hits[0].suppress_reason
+
+    def test_preceding_line_suppression(self):
+        src = """
+            import numpy as np
+            # repro: allow(det-global-rng) — documented exception
+            np.random.seed(42)
+        """
+        hits = check_source(dedent(src), "src/repro/sim/x.py")
+        assert [f.suppressed for f in hits if f.rule == "det-global-rng"] == [True]
+
+    def test_reasonless_suppression_does_not_suppress(self):
+        src = """
+            import numpy as np
+            np.random.seed(42)  # repro: allow(det-global-rng)
+        """
+        hits = [f for f in check_source(dedent(src), "src/repro/sim/x.py")]
+        assert any(f.rule == "det-global-rng" and not f.suppressed for f in hits)
+
+    def test_wrong_rule_suppression_does_not_suppress(self):
+        src = """
+            import numpy as np
+            np.random.seed(42)  # repro: allow(det-wallclock) — wrong rule id
+        """
+        hits = [f for f in check_source(dedent(src), "src/repro/sim/x.py")]
+        assert any(f.rule == "det-global-rng" and not f.suppressed for f in hits)
+
+    def test_docstring_example_is_not_a_suppression(self):
+        src = '''
+            import numpy as np
+
+            def f():
+                """Use ``# repro: allow(det-global-rng) — reason`` to suppress."""
+                np.random.seed(42)
+        '''
+        hits = [f for f in check_source(dedent(src), "src/repro/sim/x.py")]
+        assert any(f.rule == "det-global-rng" and not f.suppressed for f in hits)

@@ -100,6 +100,6 @@ class TestAgainstBruteForce:
         topo = Topology(positions, radius=1.0)
         d = CollisionAwareChannel(topo).resolve_slot(transmitters)
         tx = set(int(t) for t in transmitters)
-        for r, s in zip(d.receivers.tolist(), d.senders.tolist()):
+        for r, s in zip(d.receivers.tolist(), d.senders.tolist(), strict=True):
             assert s in tx
             assert np.hypot(*(positions[r] - positions[s])) <= 1.0

@@ -80,7 +80,7 @@ class TestCam:
     def test_senders_identified(self, line):
         ch = CollisionAwareChannel(line)
         d = ch.resolve_slot(np.array([0, 3]))
-        senders = dict(zip(d.receivers.tolist(), d.senders.tolist()))
+        senders = dict(zip(d.receivers.tolist(), d.senders.tolist(), strict=True))
         assert senders[1] == 0
         assert senders[4] == 3
         # Node 2 hears 3 only (1 is not transmitting): clean from 3.
@@ -92,7 +92,7 @@ class TestCam:
         # 2's transmitting neighbors: {1}. So 2 receives from 1.
         ch = CollisionAwareChannel(line)
         d = ch.resolve_slot(np.array([1, 2]))
-        senders = dict(zip(d.receivers.tolist(), d.senders.tolist()))
+        senders = dict(zip(d.receivers.tolist(), d.senders.tolist(), strict=True))
         assert senders.get(2) == 1  # the model has no half-duplex by default
 
 

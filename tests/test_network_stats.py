@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.network.deployment import DiskDeployment
+from repro.errors import ConfigurationError
 from repro.network.stats import (
     connectivity_probability,
     deployment_stats,
@@ -62,7 +63,7 @@ class TestIsolationTheory:
         assert empirical >= theory * 0.8
 
     def test_invalid_rho(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ConfigurationError):
             expected_isolation_probability(0.0)
 
 

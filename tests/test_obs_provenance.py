@@ -139,7 +139,7 @@ class TestRunnerManifests:
         )
         assert grid.keys() == grid2.keys()
         for key in grid:
-            for a, b in zip(grid[key], grid2[key]):
+            for a, b in zip(grid[key], grid2[key], strict=True):
                 assert np.array_equal(a.new_informed_by_slot, b.new_informed_by_slot)
                 assert np.array_equal(a.broadcasts_by_slot, b.broadcasts_by_slot)
                 assert a.collisions == b.collisions

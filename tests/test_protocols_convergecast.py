@@ -7,6 +7,7 @@ from repro.analysis.config import AnalysisConfig
 from repro.network.deployment import DiskDeployment
 from repro.protocols.convergecast import run_convergecast
 from repro.sim.config import SimulationConfig
+from repro.errors import ConfigurationError
 
 
 @pytest.fixture
@@ -78,7 +79,7 @@ class TestRandomDeployments:
         assert res.delivered == 1
 
     def test_invalid_tx_probability(self, cfg):
-        with pytest.raises(Exception):
+        with pytest.raises(ConfigurationError):
             run_convergecast(cfg, 0, tx_probability=0.0)
 
     def test_carrier_sense_costs_more(self):

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.analysis.config import AnalysisConfig
-from repro.errors import ProtocolError
+from repro.errors import ConfigurationError, ProtocolError
 from repro.network.deployment import DiskDeployment
 from repro.protocols.pbcast import ProbabilisticRelay, SimpleFlooding
 from repro.sim.config import SimulationConfig
@@ -130,7 +130,7 @@ class TestJitterMode:
         assert not np.array_equal(a.new_informed_by_slot, b.new_informed_by_slot)
 
     def test_invalid_alignment(self, cfg):
-        with pytest.raises(Exception):
+        with pytest.raises(ConfigurationError):
             DesBroadcastSimulation(ProbabilisticRelay(0.5), cfg, 7, alignment="wavy")
 
 

@@ -25,7 +25,7 @@ class TestReplicate:
     def test_reproducible(self, cfg):
         a = replicate(ProbabilisticRelay(0.5), cfg, 4, seed=99)
         b = replicate(ProbabilisticRelay(0.5), cfg, 4, seed=99)
-        for x, y in zip(a, b):
+        for x, y in zip(a, b, strict=True):
             np.testing.assert_array_equal(
                 x.new_informed_by_slot, y.new_informed_by_slot
             )
@@ -34,7 +34,7 @@ class TestReplicate:
         """Adding replications never changes the existing ones."""
         short = replicate(ProbabilisticRelay(0.5), cfg, 3, seed=5)
         long = replicate(ProbabilisticRelay(0.5), cfg, 6, seed=5)
-        for x, y in zip(short, long[:3]):
+        for x, y in zip(short, long[:3], strict=True):
             np.testing.assert_array_equal(
                 x.new_informed_by_slot, y.new_informed_by_slot
             )
@@ -75,7 +75,7 @@ class TestSweepGrid:
         assert set(a) == {(float(r), p) for r in self.RHOS for p in self.PS}
         for key, runs in a.items():
             assert len(runs) == 3
-            for x, y in zip(runs, b[key]):
+            for x, y in zip(runs, b[key], strict=True):
                 np.testing.assert_array_equal(
                     x.new_informed_by_slot, y.new_informed_by_slot
                 )
@@ -95,7 +95,7 @@ class TestSweepGrid:
                 direct = simulate_pb(
                     cfg.with_rho(rho), p, replications=3, seed=(42, int(rho), i)
                 )
-                for x, y in zip(grid[(float(rho), p)], direct):
+                for x, y in zip(grid[(float(rho), p)], direct, strict=True):
                     np.testing.assert_array_equal(
                         x.new_informed_by_slot, y.new_informed_by_slot
                     )
@@ -110,7 +110,7 @@ class TestSweepGrid:
         for rho in self.RHOS:
             lo = grid[(float(rho), self.PS[0])]
             hi = grid[(float(rho), self.PS[1])]
-            for x, y in zip(lo, hi):
+            for x, y in zip(lo, hi, strict=True):
                 # Same (rho, replication) cell -> identical deployment.
                 assert x.n_field_nodes == y.n_field_nodes
         # ... while replications within one point stay independent draws.

@@ -74,3 +74,78 @@ class TestHalfWidthIntegration:
         monkeypatch.setitem(sys.modules, "scipy.stats", None)
         agg = AggregateResult(name="m", samples=np.array([1.0, 2.0, 3.0]))
         assert math.isfinite(agg.half_width)
+
+
+class TestGammaln:
+    """``gammaln`` against scipy's reference (equivalence <= 1e-12)."""
+
+    def test_integer_arguments_match_scipy(self):
+        from scipy.special import gammaln as sp_gammaln
+
+        from repro.utils.stats import gammaln
+
+        x = np.arange(0, 5001, dtype=float) + 1.0
+        err = np.abs(gammaln(x) - sp_gammaln(x)) / np.maximum(1.0, np.abs(sp_gammaln(x)))
+        assert float(err.max()) <= 1e-12
+
+    def test_real_arguments_match_scipy(self):
+        from scipy.special import gammaln as sp_gammaln
+
+        from repro.utils.stats import gammaln
+
+        rng = np.random.default_rng(20260806)
+        x = np.concatenate(
+            [
+                rng.uniform(1e-12, 2.0, 5000),
+                rng.uniform(2.0, 100.0, 5000),
+                rng.uniform(100.0, 1e7, 5000),
+                rng.uniform(-50.0, -0.51, 5000),  # negative non-integers
+            ]
+        )
+        ours, ref = gammaln(x), sp_gammaln(x)
+        err = np.abs(ours - ref) / np.maximum(1.0, np.abs(ref))
+        assert float(np.nanmax(err)) <= 1e-12
+
+    def test_poles_and_specials(self):
+        from scipy.special import gammaln as sp_gammaln
+
+        from repro.utils.stats import gammaln
+
+        for pole in (0.0, -1.0, -2.0, -17.0):
+            assert gammaln(pole) == math.inf == float(sp_gammaln(pole))
+        assert gammaln(math.inf) == math.inf
+        assert math.isnan(gammaln(math.nan))
+
+    def test_scalar_in_scalar_out(self):
+        from repro.utils.stats import gammaln
+
+        out = gammaln(5.0)
+        assert isinstance(out, float)
+        assert out == pytest.approx(math.lgamma(5.0), rel=1e-14)
+
+    def test_matches_stdlib_lgamma(self):
+        """Tie-break reference that needs no scipy at all."""
+        from repro.utils.stats import gammaln
+
+        xs = np.linspace(0.1, 300.0, 4001)
+        ours = gammaln(xs)
+        ref = np.array([math.lgamma(float(v)) for v in xs])
+        assert float(np.max(np.abs(ours - ref) / np.maximum(1.0, np.abs(ref)))) <= 1e-13
+
+    def test_collision_modules_need_no_scipy_at_runtime(self, monkeypatch):
+        """The collision kernels must import and run with scipy absent."""
+        import importlib
+        import sys
+
+        for mod in [m for m in sys.modules if m == "scipy" or m.startswith("scipy.")]:
+            monkeypatch.setitem(sys.modules, mod, None)
+        import repro.collision.carrier
+        import repro.collision.poisson
+        import repro.collision.slots
+
+        importlib.reload(repro.collision.slots)
+        importlib.reload(repro.collision.poisson)
+        importlib.reload(repro.collision.carrier)
+        from repro.collision.slots import mu_exact
+
+        assert mu_exact(1, 4) == 1.0
