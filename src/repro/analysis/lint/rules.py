@@ -14,6 +14,8 @@ Each rule encodes one contract the library documents elsewhere:
 ``api-seed-kwarg``        Public entry points thread an explicit seed and
                           never bake one in.
 ``err-silent-except``     No silently swallowed exceptions.
+``store-key-purity``      Store-key derivation is a pure function of its
+                          inputs: no clock, RNG or entropy sources.
 ========================  =====================================================
 
 Scoping is by repo-relative path (the linter is run from the repo
@@ -38,6 +40,7 @@ __all__ = [
     "VecObjectDtype",
     "ApiSeedKwarg",
     "ErrSilentExcept",
+    "StoreKeyPurity",
 ]
 
 
@@ -618,3 +621,71 @@ class ErrSilentExcept(Rule):
                 continue  # docstring or bare ``...``
             return False
         return True
+
+
+@register
+class StoreKeyPurity(Rule):
+    """The result store serves a cached entry *instead of* running the
+    simulation, so a task key must be a pure function of the task: the
+    same ``(config, policy, seed, engine, ...)`` must hash identically
+    forever.  Anything nondeterministic in the key module — wall clock,
+    RNG, process entropy — would silently split the cache (every run a
+    miss) or, worse, collide runs that should differ.  Deterministic
+    stdlib imports (``hashlib``, ``json``, ``dataclasses``) are fine;
+    entropy sources are not."""
+
+    id = "store-key-purity"
+    summary = (
+        "store-key modules must not import or call entropy sources "
+        "(time, datetime, random, secrets, uuid, numpy.random, os.urandom)"
+    )
+
+    _SCOPE = ("src/repro/store/keys.py",)
+    _BANNED_MODULES: ClassVar[set[str]] = {
+        "time",
+        "datetime",
+        "random",
+        "secrets",
+        "uuid",
+        "numpy.random",
+    }
+
+    def applies(self, path: str) -> bool:
+        return path in self._SCOPE
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if self._banned(alias.name):
+                        yield ctx.finding(
+                            self.id,
+                            node,
+                            f"import of {alias.name} in a store-key module; task "
+                            "keys must be pure functions of the task, with no "
+                            "clock or entropy source in reach",
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                mod = node.module or ""
+                if self._banned(mod):
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        f"import from {mod} in a store-key module; task keys "
+                        "must be pure functions of the task, with no clock or "
+                        "entropy source in reach",
+                    )
+            elif isinstance(node, ast.Call):
+                name = _call_name(node.func)
+                if name in {"os.urandom", "urandom"}:
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        "os.urandom() in a store-key module; task keys must not "
+                        "mix in process entropy",
+                    )
+
+    def _banned(self, module: str) -> bool:
+        return module in self._BANNED_MODULES or any(
+            module.startswith(b + ".") for b in self._BANNED_MODULES
+        )

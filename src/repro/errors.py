@@ -15,6 +15,10 @@ __all__ = [
     "SimulationError",
     "ProtocolError",
     "InfeasibleConstraintError",
+    "ParallelExecutionError",
+    "StoreError",
+    "StoreCorruptionError",
+    "SchedulerError",
 ]
 
 
@@ -49,3 +53,48 @@ class InfeasibleConstraintError(ModelError):
     broadcast probability can ever deliver (paper Sec. 4.2.4: for some
     ``(p, rho)`` combinations 72% reachability is unattainable).
     """
+
+
+class ParallelExecutionError(ReproError):
+    """One or more tasks of a :func:`repro.utils.parallel.parallel_map`
+    call raised.
+
+    Unlike a raw worker exception, this error reports *which* task
+    indices failed while every sibling task still ran to completion.
+    ``failures`` holds the per-task
+    :class:`~repro.utils.parallel.TaskFailure` records (input index,
+    exception, formatted traceback); ``__cause__`` is the first failing
+    task's exception.
+    """
+
+    def __init__(self, message: str, failures: tuple = ()) -> None:
+        super().__init__(message)
+        #: tuple of :class:`repro.utils.parallel.TaskFailure`
+        self.failures = tuple(failures)
+
+
+class StoreError(ReproError):
+    """A result-store operation failed (I/O, layout, or invalid key)."""
+
+
+class StoreCorruptionError(StoreError):
+    """A store entry failed its checksum or could not be decoded.
+
+    The scheduler treats this as a cache miss and recomputes; the
+    ``verify`` CLI surfaces it to the operator.
+    """
+
+
+class SchedulerError(StoreError):
+    """Tasks of a store-backed sweep kept failing after bounded retry.
+
+    Everything that *did* complete has already been persisted to the
+    store and journaled, so re-running the same sweep (``resume=True``)
+    only retries the failed tasks.  ``failures`` holds ``(task_index,
+    key, exception)`` triples.
+    """
+
+    def __init__(self, message: str, failures: tuple = ()) -> None:
+        super().__init__(message)
+        #: tuple of ``(task_index, key, exception)``
+        self.failures = tuple(failures)

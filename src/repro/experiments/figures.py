@@ -112,6 +112,8 @@ def simulation_grid(scale: ExperimentScale, rho: float) -> dict[float, list[RunR
         workers=scale.workers,
         point_seed=lambda r, i: (scale.seed, int(r), i),
         progress=scale.progress,
+        store=scale.store,
+        resume=scale.resume,
     )
     for r in rhos:
         grid = {

@@ -65,6 +65,15 @@ class ExperimentScale:
         stderr (see :mod:`repro.obs.progress`).  Deliberately *not* part
         of the figure-cache key: it changes terminal output only, never
         results.
+    store:
+        Optional result-store directory (see :mod:`repro.store`).
+        Simulated sweeps then serve cached tasks and persist fresh
+        completions, so re-rendering figures against a warm store skips
+        the Monte-Carlo work entirely.  Like ``progress``, not part of
+        the figure-cache key: stored results are bit-identical to
+        recomputed ones.
+    resume:
+        With ``store``: resume an interrupted sweep from its journal.
     """
 
     name: str
@@ -75,10 +84,17 @@ class ExperimentScale:
     seed: int = 20050113  # the paper's preprint date
     workers: int | None = 1
     progress: bool = False
+    store: str | None = None
+    resume: bool = False
 
     @classmethod
     def full(
-        cls, *, workers: int | None = None, progress: bool = False
+        cls,
+        *,
+        workers: int | None = None,
+        progress: bool = False,
+        store: str | None = None,
+        resume: bool = False,
     ) -> "ExperimentScale":
         """The paper's exact grids (minutes of wall time for sim figures)."""
         return cls(
@@ -89,11 +105,18 @@ class ExperimentScale:
             replications=PaperParams.REPLICATIONS,
             workers=workers,
             progress=progress,
+            store=store,
+            resume=resume,
         )
 
     @classmethod
     def quick(
-        cls, *, workers: int | None = None, progress: bool = False
+        cls,
+        *,
+        workers: int | None = None,
+        progress: bool = False,
+        store: str | None = None,
+        resume: bool = False,
     ) -> "ExperimentScale":
         """Coarse grids for CI: same qualitative shapes, ~100x cheaper."""
         return cls(
@@ -104,6 +127,8 @@ class ExperimentScale:
             replications=6,
             workers=workers,
             progress=progress,
+            store=store,
+            resume=resume,
         )
 
     # ------------------------------------------------------------------

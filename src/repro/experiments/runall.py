@@ -68,6 +68,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print per-sweep progress/ETA lines to stderr",
     )
     parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="result-store directory: serve cached simulation tasks, persist "
+        "fresh ones (see `python -m repro.store`)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --store: resume an interrupted sweep from its journal",
+    )
+    parser.add_argument(
         "-o", "--output", default=None, help="write to a file instead of stdout"
     )
     return parser
@@ -80,10 +92,16 @@ def main(argv: list[str] | None = None) -> int:
         print("\n".join(sorted(FIGURES)))
         return 0
 
-    if args.scale == "full":
-        scale = ExperimentScale.full(workers=args.workers, progress=args.progress)
-    else:
-        scale = ExperimentScale.quick(workers=args.workers, progress=args.progress)
+    if args.resume and args.store is None:
+        print("--resume requires --store", file=sys.stderr)
+        return 2
+    factory = ExperimentScale.full if args.scale == "full" else ExperimentScale.quick
+    scale = factory(
+        workers=args.workers,
+        progress=args.progress,
+        store=args.store,
+        resume=args.resume,
+    )
 
     if args.figures == "all":
         names = list(FIGURES)
@@ -143,6 +161,7 @@ def main(argv: list[str] | None = None) -> int:
                 "failed": [n for n, _ in failures],
                 "replications": scale.replications,
                 "rho_grid": list(scale.rho_grid),
+                "store": scale.store,
             },
             started=started,
         )

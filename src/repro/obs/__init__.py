@@ -23,6 +23,7 @@ from repro.obs.events import (
     PhaseComplete,
     RunComplete,
     SlotResolved,
+    StoreAccess,
 )
 from repro.obs.metrics import collect, registry
 from repro.obs.provenance import (
@@ -43,6 +44,7 @@ __all__ = [
     "PhaseComplete",
     "RunComplete",
     "ChannelDelivery",
+    "StoreAccess",
     "capture",
     "get_tracer",
     "RingBufferSink",

@@ -23,6 +23,10 @@ agree on field names and semantics without schema negotiation:
     :meth:`~repro.models.channel.Channel.resolve_slot` implementations
     (CAM/CFM), without phase context — useful when driving a channel
     outside an engine.
+``StoreAccess``
+    One result-store operation by the crash-safe scheduler
+    (:mod:`repro.store.scheduler`): a cache hit/miss, a put of freshly
+    computed results, or a corrupt entry dropped for recomputation.
 
 Events are plain frozen dataclasses; :func:`event_to_dict` /
 :func:`event_from_dict` define the JSONL wire form used by
@@ -39,6 +43,7 @@ __all__ = [
     "PhaseComplete",
     "RunComplete",
     "ChannelDelivery",
+    "StoreAccess",
     "TraceEvent",
     "EVENT_TYPES",
     "event_to_dict",
@@ -117,13 +122,49 @@ class ChannelDelivery:
     n_collided: int
 
 
+@dataclass(frozen=True)
+class StoreAccess:
+    """One result-store operation during a store-backed sweep.
+
+    Attributes
+    ----------
+    op:
+        ``"hit"``, ``"miss"``, ``"put"`` or ``"corrupt"``.
+    key:
+        The content-addressed task key (64 hex chars).
+    n_results:
+        Results in the batch (0 for misses).
+    nbytes:
+        Entry size in bytes (0 when unknown, e.g. for misses).
+    """
+
+    op: str
+    key: str
+    n_results: int
+    nbytes: int
+
+
 #: Union of every event the observability layer can emit; sinks and the
 #: wire-format helpers below are typed against it.
-TraceEvent = SlotResolved | NodeInformed | PhaseComplete | RunComplete | ChannelDelivery
+TraceEvent = (
+    SlotResolved
+    | NodeInformed
+    | PhaseComplete
+    | RunComplete
+    | ChannelDelivery
+    | StoreAccess
+)
 
 EVENT_TYPES: dict[str, type[TraceEvent]] = {
     cls.__name__: cls
-    for cls in (SlotResolved, NodeInformed, PhaseComplete, RunComplete, ChannelDelivery)
+    for cls in (
+        SlotResolved,
+        NodeInformed,
+        PhaseComplete,
+        RunComplete,
+        ChannelDelivery,
+        StoreAccess,
+    )
 }
 
 

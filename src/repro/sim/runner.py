@@ -10,12 +10,19 @@ one task list so a single process pool serves every grid point (instead
 of paying pool startup per point), and can optionally reuse one sampled
 deployment per ``(rho, replication)`` cell across all probabilities
 (common random numbers).
+
+Both entry points accept ``store=`` — a :class:`repro.store.DiskStore`
+or a path — to run through the content-addressed result store: cached
+tasks are served without computing, fresh completions are persisted and
+journaled as they land (so a killed sweep resumes where it died via
+``resume=True``), and results are bit-identical to a storeless run.
 """
 
 from __future__ import annotations
 
+import os
 import time
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence, Union
 
 import numpy as np
 
@@ -32,7 +39,17 @@ from repro.utils.parallel import parallel_map
 from repro.utils.rng import SeedLike, as_seed_sequence
 from repro.utils.validation import check_in, check_positive_int
 
+if TYPE_CHECKING:
+    from repro.store.backend import DiskStore
+
 __all__ = ["replicate", "simulate_pb", "sweep_grid"]
+
+#: Accepted forms of the ``store=`` argument: an opened store, a
+#: directory path, or ``None`` (no caching).
+StoreLike = Union["DiskStore", str, "os.PathLike[str]", None]
+
+#: Accepted forms of the ``manifest_dir=`` argument.
+PathLike = Union[str, "os.PathLike[str]", None]
 
 
 def _execute(task: tuple) -> RunResult:
@@ -55,6 +72,44 @@ def _execute(task: tuple) -> RunResult:
     return result
 
 
+def _open_store(store: StoreLike) -> "DiskStore | None":
+    """Normalize the ``store=`` argument (lazy import keeps cold start lean)."""
+    if store is None:
+        return None
+    from repro.store.backend import DiskStore
+
+    if isinstance(store, DiskStore):
+        return store
+    return DiskStore(store)
+
+
+def _run_task_list(
+    tasks: list[tuple],
+    keys: list[str] | None,
+    store: "DiskStore | None",
+    resume: bool,
+    workers: int | None,
+    retries: int,
+    hook: Callable | None,
+) -> list[RunResult]:
+    """Dispatch a task list through the scheduler or plain parallel_map."""
+    if store is not None:
+        from repro.store.scheduler import run_tasks
+
+        assert keys is not None
+        return run_tasks(
+            _execute,
+            tasks,
+            keys,
+            store=store,
+            resume=resume,
+            workers=workers,
+            retries=retries,
+            progress=hook,
+        )
+    return parallel_map(_execute, tasks, workers=workers, progress=hook)
+
+
 def replicate(
     policy: RelayPolicy,
     config: SimulationConfig,
@@ -65,7 +120,10 @@ def replicate(
     alignment: str = "phase",
     workers: int | None = 1,
     progress: bool = False,
-    manifest_dir=None,
+    manifest_dir: PathLike = None,
+    store: StoreLike = None,
+    resume: bool = False,
+    retries: int = 1,
 ) -> list[RunResult]:
     """Run ``replications`` independent simulations of one scenario.
 
@@ -91,6 +149,18 @@ def replicate(
         If given (a path), write a provenance manifest (seed entropy,
         config, git SHA, environment, timings) to
         ``manifest_dir/manifest.json`` after the runs complete.
+    store:
+        A :class:`repro.store.DiskStore` (or store directory path):
+        serve cached replications, persist fresh ones.  Results are
+        bit-identical with the store on, off, or warm; cached results
+        carry ``metrics=None`` (telemetry is never persisted).
+    resume:
+        With ``store``: append to this call's existing completion
+        journal instead of starting a fresh one.
+    retries:
+        With ``store``: extra execution rounds for tasks that raised
+        before a structured
+        :class:`~repro.errors.SchedulerError` surfaces them.
 
     Returns
     -------
@@ -102,8 +172,18 @@ def replicate(
     started = obs_provenance.start_clock() if manifest_dir is not None else None
     children = root.spawn(replications)
     tasks = [(policy, config, child, engine, alignment, None) for child in children]
+    disk_store = _open_store(store)
+    task_keys: list[str] | None = None
+    if disk_store is not None:
+        from repro.store.keys import task_key
+
+        task_keys = [
+            task_key(policy, config, child, engine, alignment) for child in children
+        ]
     hook = obs_progress.SweepProgress(len(tasks), "replicate").update if progress else None
-    results = parallel_map(_execute, tasks, workers=workers, progress=hook)
+    results = _run_task_list(
+        tasks, task_keys, disk_store, resume, workers, retries, hook
+    )
     if manifest_dir is not None:
         obs_provenance.write_manifest(
             manifest_dir,
@@ -115,6 +195,7 @@ def replicate(
                 "engine": engine,
                 "alignment": alignment,
                 "policy": repr(policy),
+                "store": None if disk_store is None else str(disk_store.root),
             },
             metrics=obs_metrics.registry().snapshot() or None,
             started=started,
@@ -129,11 +210,17 @@ def simulate_pb(
     seed: SeedLike = None,
     *,
     engine: str = "vector",
+    alignment: str = "phase",
     workers: int | None = 1,
+    progress: bool = False,
+    manifest_dir: PathLike = None,
+    store: StoreLike = None,
+    resume: bool = False,
 ) -> list[RunResult]:
     """Replicated probability-based broadcast — the paper's Sec. 5 unit.
 
-    Equivalent to ``replicate(ProbabilisticRelay(p), config, ...)``.
+    Equivalent to ``replicate(ProbabilisticRelay(p), config, ...)``;
+    every keyword is forwarded verbatim.
     """
     return replicate(
         ProbabilisticRelay(p),
@@ -141,7 +228,12 @@ def simulate_pb(
         replications,
         seed,
         engine=engine,
+        alignment=alignment,
         workers=workers,
+        progress=progress,
+        manifest_dir=manifest_dir,
+        store=store,
+        resume=resume,
     )
 
 
@@ -159,7 +251,10 @@ def sweep_grid(
     reuse_deployments: bool = False,
     point_seed: Callable[[float, int], SeedLike] | None = None,
     progress: bool = False,
-    manifest_dir=None,
+    manifest_dir: PathLike = None,
+    store: StoreLike = None,
+    resume: bool = False,
+    retries: int = 1,
 ) -> dict[tuple[float, float], list[RunResult]]:
     """Replicated simulations over a full ``(rho, p)`` grid, one pool.
 
@@ -204,6 +299,25 @@ def sweep_grid(
     manifest_dir:
         If given (a path), write a provenance manifest for the sweep to
         ``manifest_dir/manifest.json`` (see :func:`replicate`).
+    store:
+        A :class:`repro.store.DiskStore` (or store directory path).
+        Cache-hit tasks are served without computing; fresh completions
+        are persisted and journaled *as they finish*, which makes the
+        sweep crash-safe: killed at task 7,000 of 10,000, the next
+        invocation with ``resume=True`` computes only the missing
+        3,000.  Because keys are content-addressed, a pooled sweep with
+        ``point_seed`` also shares entries with the per-point
+        ``replicate``/``simulate_pb`` calls it reproduces.
+    resume:
+        With ``store``: append to this sweep's existing journal (the
+        crash-recovery path) instead of starting a fresh one.
+        Correctness never depends on the flag — hits come from the
+        store either way, and a journaled task whose entry was evicted
+        or corrupted is recomputed.
+    retries:
+        With ``store``: extra execution rounds for tasks that raised
+        before a structured :class:`~repro.errors.SchedulerError`
+        surfaces them (completed siblings stay persisted).
 
     Returns
     -------
@@ -226,6 +340,7 @@ def sweep_grid(
     configs = [_config_at(rho) for rho in rhos]
     policies = [policy_factory(p) for p in ps]
     root = as_seed_sequence(seed)
+    disk_store = _open_store(store)
     tasks = []
 
     if reuse_deployments:
@@ -261,8 +376,21 @@ def sweep_grid(
                 for child in point_root.spawn(replications):
                     tasks.append((policy, cfg, child, engine, alignment, None))
 
+    task_keys: list[str] | None = None
+    if disk_store is not None:
+        from repro.store.keys import task_key
+
+        task_keys = [
+            task_key(
+                t[0], t[1], t[2], engine, alignment, reuse_deployment=t[5] is not None
+            )
+            for t in tasks
+        ]
+
     hook = obs_progress.SweepProgress(len(tasks), "sweep").update if progress else None
-    results = parallel_map(_execute, tasks, workers=workers, progress=hook)
+    results = _run_task_list(
+        tasks, task_keys, disk_store, resume, workers, retries, hook
+    )
 
     grid: dict[tuple[float, float], list[RunResult]] = {}
     it = iter(results)
@@ -283,6 +411,8 @@ def sweep_grid(
                 "alignment": alignment,
                 "reuse_deployments": reuse_deployments,
                 "n_runs": len(tasks),
+                "store": None if disk_store is None else str(disk_store.root),
+                "resume": resume,
             },
             metrics=obs_metrics.registry().snapshot() or None,
             started=started,

@@ -1,0 +1,5 @@
+"""Module entry point: ``python -m repro.store``."""
+
+from repro.store.cli import main
+
+raise SystemExit(main())

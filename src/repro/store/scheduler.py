@@ -1,0 +1,263 @@
+"""Crash-safe, cache-aware task scheduling for Monte-Carlo sweeps.
+
+:func:`run_tasks` is the store-backed execution path behind
+:func:`repro.sim.runner.replicate` and
+:func:`~repro.sim.runner.sweep_grid`.  For a list of independent tasks
+(each a pure function of its key), it:
+
+1. consults the :class:`~repro.store.backend.DiskStore` and serves
+   every hit without computing (corrupt entries are dropped, counted,
+   and recomputed — never served);
+2. executes only the misses through
+   :func:`repro.utils.parallel.parallel_map` with per-task error
+   capture, so one crashing task cannot discard its siblings' work;
+3. persists and journals each freshly computed task *as its chunk
+   completes*, not at sweep end — a sweep killed at task 7,000 of
+   10,000 leaves 7,000 results in the store and a journal recording
+   them, and the same call with ``resume=True`` executes only the rest;
+4. retries failed tasks up to ``retries`` extra rounds, then raises a
+   structured :class:`~repro.errors.SchedulerError` naming every task
+   that kept failing — after persisting everything that succeeded.
+
+Observability: hit/miss/put/corrupt counters and byte totals go to the
+:mod:`repro.obs.metrics` registry (when enabled), and each store
+operation emits a :class:`~repro.obs.events.StoreAccess` trace event
+through the process tracer (when a sink is attached), following the
+hoisted-guard convention of the engines.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Any, Callable, Sequence
+
+from repro.errors import SchedulerError, StoreCorruptionError
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.events import StoreAccess
+from repro.sim.results import RunResult
+from repro.store.backend import DiskStore
+from repro.store.journal import SweepJournal
+from repro.store.keys import sweep_key
+from repro.utils.parallel import TaskFailure, parallel_map
+
+__all__ = ["run_tasks"]
+
+#: ``progress(done, total, recent_results)`` — the shape
+#: :class:`repro.obs.progress.SweepProgress` accepts.
+ProgressHook = Callable[[int, int, Sequence[Any]], None]
+
+
+def _run_indexed(
+    execute: Callable[[Any], RunResult], item: tuple[int, Any]
+) -> tuple[int, RunResult]:
+    """Worker wrapper: carry the task's input index across the pool."""
+    index, task = item
+    return index, execute(task)
+
+
+class _Recorder:
+    """Parent-side completion hook: persist, journal, report progress.
+
+    Runs inside ``parallel_map``'s progress callback, i.e. in the
+    parent process as each chunk finishes — that is what makes the
+    sweep crash-safe with a process pool (workers only compute; all
+    store writes happen here, in completion order).
+    """
+
+    def __init__(
+        self,
+        store: DiskStore | None,
+        journal: SweepJournal | None,
+        keys: Sequence[str],
+        total: int,
+        done: int,
+        progress: ProgressHook | None,
+    ) -> None:
+        self.store = store
+        self.journal = journal
+        self.keys = keys
+        self.total = total
+        self.done = done
+        self.progress = progress
+
+    def record(self, index: int, result: RunResult) -> None:
+        self.done += 1
+        if self.store is not None:
+            nbytes = self.store.put(self.keys[index], [result])
+            reg = obs_metrics.registry()
+            if reg.enabled:
+                reg.counter("store.puts").inc()
+                reg.counter("store.put_bytes").inc(nbytes)
+            tracer = obs_trace.get_tracer()
+            emit = tracer.emit if tracer.enabled else None
+            if emit is not None:
+                emit(StoreAccess("put", self.keys[index], 1, nbytes))
+        if self.journal is not None:
+            self.journal.append(index, self.keys[index])
+
+    def __call__(self, _done: int, _total: int, chunk: Sequence[Any]) -> None:
+        fresh = []
+        for item in chunk:
+            if isinstance(item, TaskFailure):
+                continue
+            index, result = item
+            self.record(index, result)
+            fresh.append(result)
+        if self.progress is not None:
+            self.progress(self.done, self.total, fresh)
+
+
+# repro: allow(api-seed-kwarg) — executes caller-built tasks whose seeds are already inside them
+def run_tasks(
+    execute: Callable[[Any], RunResult],
+    tasks: Sequence[Any],
+    keys: Sequence[str],
+    *,
+    store: DiskStore | None = None,
+    resume: bool = False,
+    workers: int | None = 1,
+    retries: int = 1,
+    progress: ProgressHook | None = None,
+) -> list[RunResult]:
+    """Execute ``tasks`` through the store, returning results in order.
+
+    Parameters
+    ----------
+    execute:
+        Picklable per-task worker (the runner's ``_execute``).
+    tasks, keys:
+        Parallel sequences: ``keys[i]`` is the content-addressed key of
+        ``tasks[i]``.
+    store:
+        The result store; ``None`` degrades to plain
+        :func:`~repro.utils.parallel.parallel_map` semantics (still
+        with per-task capture and retry).
+    resume:
+        Reuse this sweep's existing journal, appending to it, instead
+        of starting a fresh one.  Correctness never depends on the
+        flag — hits come from the store either way; a journaled task
+        whose entry was evicted or corrupted is simply recomputed.
+    workers:
+        As in :func:`~repro.utils.parallel.parallel_map`.
+    retries:
+        Extra execution rounds for failed tasks before giving up.
+    progress:
+        ``progress(done, total, recent_results)`` hook; ``done`` counts
+        hits and completions together.
+
+    Raises
+    ------
+    SchedulerError
+        If any task still fails after ``retries`` extra rounds.  All
+        successful tasks are already persisted and journaled.
+    """
+    if len(tasks) != len(keys):
+        raise ValueError(f"{len(tasks)} tasks but {len(keys)} keys")
+    n = len(tasks)
+    results: list[RunResult | None] = [None] * n
+
+    journal: SweepJournal | None = None
+    if store is not None:
+        journal = SweepJournal(
+            store.journals_dir / f"{sweep_key(keys)}.jsonl",
+            sweep_key(keys),
+            n,
+            resume=resume,
+        )
+
+    reg = obs_metrics.registry()
+    tracer = obs_trace.get_tracer()
+    emit = tracer.emit if tracer.enabled else None
+
+    # ------------------------------------------------------------------
+    # phase 1: serve cache hits
+    # ------------------------------------------------------------------
+    missing: list[tuple[int, Any]] = []
+    hits = 0
+    if store is not None:
+        for i, key in enumerate(keys):
+            try:
+                batch = store.get(key)
+            except StoreCorruptionError:
+                # Detected, dropped, recomputed — never served.
+                store.delete(key)
+                if reg.enabled:
+                    reg.counter("store.corrupt").inc()
+                if emit is not None:
+                    emit(StoreAccess("corrupt", key, 0, 0))
+                batch = None
+            if batch:
+                results[i] = batch[0]
+                hits += 1
+                if journal is not None:
+                    journal.append(i, key)
+                if reg.enabled:
+                    reg.counter("store.hits").inc()
+                if emit is not None:
+                    emit(StoreAccess("hit", key, len(batch), 0))
+            else:
+                missing.append((i, tasks[i]))
+        if reg.enabled:
+            reg.counter("store.misses").inc(len(missing))
+        if emit is not None:
+            for i, _ in missing:
+                emit(StoreAccess("miss", keys[i], 0, 0))
+    else:
+        missing = list(enumerate(tasks))
+
+    if progress is not None and hits:
+        progress(hits, n, [r for r in results if r is not None][-1:])
+
+    # ------------------------------------------------------------------
+    # phase 2: execute misses, persisting as chunks complete
+    # ------------------------------------------------------------------
+    recorder = _Recorder(store, journal, keys, n, hits, progress)
+    pending = missing
+    failures: list[TaskFailure] = []
+    for attempt in range(retries + 1):
+        if not pending:
+            break
+        if attempt and reg.enabled:
+            reg.counter("store.retries").inc(len(pending))
+        outcome = parallel_map(
+            partial(_run_indexed, execute),
+            pending,
+            workers=workers,
+            progress=recorder,
+            return_exceptions=True,
+        )
+        failures = []
+        retry_items: list[tuple[int, Any]] = []
+        for position, item in enumerate(outcome):
+            if isinstance(item, TaskFailure):
+                task_index = pending[position][0]
+                failures.append(
+                    TaskFailure(task_index, item.error, item.traceback_str)
+                )
+                retry_items.append(pending[position])
+            else:
+                index, result = item
+                results[index] = result
+        pending = retry_items
+
+    if journal is not None:
+        journal.close()
+    if store is not None:
+        store.flush_index()
+    if reg.enabled and store is not None:
+        reg.counter("store.tasks_executed").inc(n - hits - len(failures))
+
+    if failures:
+        shown = ", ".join(str(f.index) for f in failures[:10])
+        more = "" if len(failures) <= 10 else f" (+{len(failures) - 10} more)"
+        raise SchedulerError(
+            f"{len(failures)}/{n} task(s) failed after {retries} retr"
+            f"{'y' if retries == 1 else 'ies'} at indices [{shown}]{more}; "
+            f"first: {type(failures[0].error).__name__}: {failures[0].error}. "
+            "Completed tasks are persisted; re-run with resume=True to "
+            "retry only the failures.",
+            tuple((f.index, keys[f.index], f.error) for f in failures),
+        ) from failures[0].error
+
+    return [r for r in results if r is not None]

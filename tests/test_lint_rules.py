@@ -28,6 +28,7 @@ class TestRegistry:
             "vec-object-dtype",
             "api-seed-kwarg",
             "err-silent-except",
+            "store-key-purity",
         } <= ids
 
     def test_rules_have_summaries(self):
@@ -460,6 +461,60 @@ class TestErrSilentExcept:
                 pass
         """
         assert findings(src, "tests/test_x.py", self.RULE) == []
+
+
+class TestStoreKeyPurity:
+    RULE = "store-key-purity"
+    PATH = "src/repro/store/keys.py"
+
+    def test_time_import_triggers(self):
+        src = """
+            import time
+            stamp = time.monotonic()
+        """
+        assert len(findings(src, self.PATH, self.RULE)) == 1
+
+    def test_from_datetime_import_triggers(self):
+        src = """
+            from datetime import datetime
+        """
+        assert len(findings(src, self.PATH, self.RULE)) == 1
+
+    def test_uuid_and_secrets_trigger(self):
+        src = """
+            import uuid
+            import secrets
+        """
+        assert len(findings(src, self.PATH, self.RULE)) == 2
+
+    def test_numpy_random_import_triggers(self):
+        src = """
+            from numpy.random import default_rng
+        """
+        assert len(findings(src, self.PATH, self.RULE)) == 1
+
+    def test_os_urandom_triggers(self):
+        src = """
+            import os
+            salt = os.urandom(16)
+        """
+        assert len(findings(src, self.PATH, self.RULE)) == 1
+
+    def test_deterministic_imports_ok(self):
+        src = """
+            import hashlib
+            import json
+            from dataclasses import asdict, fields, is_dataclass
+            import numpy as np
+        """
+        assert findings(src, self.PATH, self.RULE) == []
+
+    def test_out_of_scope_ok(self):
+        src = """
+            import time
+            stamp = time.monotonic()
+        """
+        assert findings(src, "src/repro/store/gc.py", self.RULE) == []
 
 
 class TestSuppressions:

@@ -1,0 +1,96 @@
+"""``python -m repro.store``: subcommands and exit codes."""
+
+import json
+
+import pytest
+
+from repro.analysis.config import AnalysisConfig
+from repro.protocols.pbcast import ProbabilisticRelay
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import replicate
+from repro.store import DiskStore, task_key
+from repro.store.cli import main
+
+
+@pytest.fixture
+def store_dir(tmp_path):
+    store = DiskStore(tmp_path / "store")
+    cfg = SimulationConfig(analysis=AnalysisConfig(n_rings=3, rho=15))
+    runs = replicate(ProbabilisticRelay(0.5), cfg, 1, seed=7)
+    for seed in (1, 2):
+        store.put(
+            task_key(ProbabilisticRelay(0.5), cfg, seed, "vector", "phase"), runs
+        )
+    store.flush_index()
+    return store
+
+
+class TestStats:
+    def test_text(self, store_dir, capsys):
+        assert main(["stats", str(store_dir.root)]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 2" in out
+
+    def test_json(self, store_dir, capsys):
+        assert main(["stats", str(store_dir.root), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["entries"] == 2
+
+
+class TestVerify:
+    def test_clean_store(self, store_dir, capsys):
+        assert main(["verify", str(store_dir.root)]) == 0
+        assert "ok: 2 entries" in capsys.readouterr().out
+
+    def test_corrupt_entry_exit_1(self, store_dir, capsys):
+        key = next(iter(store_dir.keys()))
+        store_dir.path_for(key).write_text("garbage")
+        assert main(["verify", str(store_dir.root)]) == 1
+        assert key in capsys.readouterr().err
+
+    def test_delete_removes_corrupt(self, store_dir):
+        key = next(iter(store_dir.keys()))
+        store_dir.path_for(key).write_text("garbage")
+        assert main(["verify", str(store_dir.root), "--delete"]) == 1
+        assert main(["verify", str(store_dir.root)]) == 0
+        assert len(list(store_dir.keys())) == 1
+
+
+class TestGc:
+    def test_dry_run_keeps_entries(self, store_dir, capsys):
+        assert main(["gc", str(store_dir.root), "--max-bytes", "0", "--dry-run"]) == 0
+        assert "would remove" in capsys.readouterr().out
+        assert len(list(store_dir.keys())) == 2
+
+    def test_gc_evicts(self, store_dir):
+        assert main(["gc", str(store_dir.root), "--max-bytes", "0"]) == 0
+        assert list(store_dir.keys()) == []
+
+
+class TestInvalidate:
+    def test_all(self, store_dir):
+        assert main(["invalidate", str(store_dir.root), "--all"]) == 0
+        assert list(store_dir.keys()) == []
+
+    def test_prefix(self, store_dir):
+        keys = list(store_dir.keys())
+        assert main(["invalidate", str(store_dir.root), keys[0][:8]]) == 0
+        assert list(store_dir.keys()) == keys[1:]
+
+    def test_no_match_exit_1(self, store_dir):
+        # No hex key can start with "zz".
+        assert main(["invalidate", str(store_dir.root), "zz"]) == 1
+
+    def test_neither_all_nor_prefix_exit_2(self, store_dir):
+        assert main(["invalidate", str(store_dir.root)]) == 2
+
+    def test_both_all_and_prefix_exit_2(self, store_dir):
+        assert main(["invalidate", str(store_dir.root), "ab", "--all"]) == 2
+
+
+def test_unreadable_store_exit_2(tmp_path, capsys):
+    root = tmp_path / "bad"
+    root.mkdir()
+    (root / "store.json").write_text('{"schema": "other/9"}')
+    assert main(["stats", str(root)]) == 2
+    assert "error:" in capsys.readouterr().err

@@ -1,0 +1,74 @@
+"""Garbage collection: LRU order, size/age caps, dry runs."""
+
+import os
+
+import pytest
+
+from repro.analysis.config import AnalysisConfig
+from repro.protocols.pbcast import ProbabilisticRelay
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import replicate
+from repro.store import DiskStore, collect_garbage, task_key
+
+
+@pytest.fixture
+def store(tmp_path):
+    return DiskStore(tmp_path / "store")
+
+
+@pytest.fixture
+def populated(store):
+    """Three entries with mtimes 100 < 200 < 300 (LRU -> MRU)."""
+    cfg = SimulationConfig(analysis=AnalysisConfig(n_rings=3, rho=15))
+    runs = replicate(ProbabilisticRelay(0.5), cfg, 1, seed=7)
+    keys = []
+    for i, seed in enumerate((1, 2, 3)):
+        key = task_key(ProbabilisticRelay(0.5), cfg, seed, "vector", "phase")
+        store.put(key, runs)
+        os.utime(store.path_for(key), ((i + 1) * 100.0, (i + 1) * 100.0))
+        keys.append(key)
+    return keys
+
+
+class TestCollectGarbage:
+    def test_noop_without_caps(self, store, populated):
+        report = collect_garbage(store, now=1000.0)
+        assert report.removed == 0 and report.examined == 3
+
+    def test_age_cap_evicts_old_entries(self, store, populated):
+        report = collect_garbage(store, max_age_s=150.0, now=300.0)
+        # ages at now=300: 200, 100, 0 -> only the first exceeds 150
+        assert report.removed == 1
+        assert report.removed_keys == (populated[0],)
+        assert store.get(populated[0]) is None
+        assert store.get(populated[2]) is not None
+
+    def test_size_cap_evicts_lru_first(self, store, populated):
+        entry_size = store.path_for(populated[0]).stat().st_size
+        report = collect_garbage(store, max_bytes=entry_size, now=1000.0)
+        assert report.removed == 2
+        assert list(report.removed_keys) == populated[:2]  # oldest first
+        assert store.get(populated[2]) is not None
+        assert store.nbytes() <= entry_size
+
+    def test_zero_cap_empties_store(self, store, populated):
+        report = collect_garbage(store, max_bytes=0, now=1000.0)
+        assert report.removed == 3
+        assert list(store.keys()) == []
+        assert report.bytes_after == 0
+
+    def test_dry_run_touches_nothing(self, store, populated):
+        report = collect_garbage(store, max_bytes=0, now=1000.0, dry_run=True)
+        assert report.removed == 3 and report.dry_run
+        assert len(list(store.keys())) == 3
+
+    def test_orphan_tmp_files_swept(self, store, populated):
+        orphan = store.objects_dir / "ab" / "orphan.json.tmp"
+        orphan.parent.mkdir(exist_ok=True)
+        orphan.write_text("partial write")
+        collect_garbage(store, now=1000.0)
+        assert not orphan.exists()
+
+    def test_report_str(self, store, populated):
+        report = collect_garbage(store, max_bytes=0, now=1000.0, dry_run=True)
+        assert "would remove 3/3" in str(report)

@@ -1,0 +1,91 @@
+"""Sweep journals: fresh/resume semantics and torn-line tolerance."""
+
+import json
+
+import pytest
+
+from repro.errors import StoreCorruptionError
+from repro.store import SweepJournal
+
+SWEEP = "a" * 64
+KEY1 = "1" * 64
+KEY2 = "2" * 64
+
+
+@pytest.fixture
+def path(tmp_path):
+    return tmp_path / "sweep.jsonl"
+
+
+class TestFresh:
+    def test_header_written(self, path):
+        SweepJournal(path, SWEEP, 10).close()
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["sweep"] == SWEEP and header["n_tasks"] == 10
+
+    def test_append_and_len(self, path):
+        with SweepJournal(path, SWEEP, 10) as j:
+            j.append(0, KEY1)
+            j.append(3, KEY2)
+            assert len(j) == 2
+        assert len(path.read_text().splitlines()) == 3
+
+    def test_append_idempotent(self, path):
+        with SweepJournal(path, SWEEP, 10) as j:
+            j.append(0, KEY1)
+            j.append(0, KEY1)
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_fresh_overwrites_existing(self, path):
+        with SweepJournal(path, SWEEP, 10) as j:
+            j.append(0, KEY1)
+        j2 = SweepJournal(path, SWEEP, 10, resume=False)
+        assert j2.completed == {}
+        j2.close()
+
+
+class TestResume:
+    def test_resume_loads_completions(self, path):
+        with SweepJournal(path, SWEEP, 10) as j:
+            j.append(0, KEY1)
+            j.append(3, KEY2)
+        j2 = SweepJournal(path, SWEEP, 10, resume=True)
+        assert j2.completed == {0: KEY1, 3: KEY2}
+        j2.append(5, KEY1)
+        j2.close()
+        j3 = SweepJournal(path, SWEEP, 10, resume=True)
+        assert set(j3.completed) == {0, 3, 5}
+        j3.close()
+
+    def test_resume_missing_file_starts_fresh(self, path):
+        j = SweepJournal(path, SWEEP, 10, resume=True)
+        assert j.completed == {}
+        j.close()
+
+    def test_torn_final_line_discarded(self, path):
+        with SweepJournal(path, SWEEP, 10) as j:
+            j.append(0, KEY1)
+        with path.open("a") as fh:
+            fh.write('{"task": 1, "ke')  # crash mid-append
+        j2 = SweepJournal(path, SWEEP, 10, resume=True)
+        assert j2.completed == {0: KEY1}
+        j2.close()
+
+    def test_malformed_interior_line_raises(self, path):
+        with SweepJournal(path, SWEEP, 10) as j:
+            j.append(0, KEY1)
+        text = path.read_text().splitlines()
+        text.insert(1, "garbage")
+        path.write_text("\n".join(text) + "\n")
+        with pytest.raises(StoreCorruptionError):
+            SweepJournal(path, SWEEP, 10, resume=True)
+
+    def test_wrong_sweep_raises(self, path):
+        SweepJournal(path, SWEEP, 10).close()
+        with pytest.raises(StoreCorruptionError):
+            SweepJournal(path, "b" * 64, 10, resume=True)
+
+    def test_non_journal_file_raises(self, path):
+        path.write_text("not a journal\n")
+        with pytest.raises(StoreCorruptionError):
+            SweepJournal(path, SWEEP, 10, resume=True)

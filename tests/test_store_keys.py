@@ -1,0 +1,120 @@
+"""Store keys: stability, sensitivity, canonical-form strictness."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.config import AnalysisConfig
+from repro.errors import StoreError
+from repro.protocols.pbcast import ProbabilisticRelay
+from repro.sim.config import SimulationConfig
+from repro.store import canonical_json, seed_fingerprint, sweep_key, task_key
+
+
+def cfg(rho=15):
+    return SimulationConfig(analysis=AnalysisConfig(n_rings=3, rho=rho))
+
+
+class TestCanonicalJson:
+    def test_key_order_independent(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_no_whitespace(self):
+        assert " " not in canonical_json({"a": [1, 2], "b": {"c": 3}})
+
+    def test_nan_tagged_distinct_from_null(self):
+        assert canonical_json(float("nan")) == '"__nan__"'
+        assert canonical_json(None) == "null"
+
+    def test_numpy_scalars_and_arrays_reduce(self):
+        assert canonical_json(np.int64(3)) == canonical_json(3)
+        assert canonical_json(np.array([1, 2])) == canonical_json([1, 2])
+
+    def test_dataclasses_reduce(self):
+        a = canonical_json(AnalysisConfig(n_rings=3, rho=15))
+        b = canonical_json(AnalysisConfig(n_rings=3, rho=15))
+        assert a == b
+
+    def test_unserializable_raises_not_repr(self):
+        with pytest.raises(StoreError):
+            canonical_json(object())
+
+
+class TestSeedFingerprint:
+    def test_spawned_children_differ_only_by_spawn_key(self):
+        root = np.random.SeedSequence(7)
+        a, b = root.spawn(2)
+        fa, fb = seed_fingerprint(a), seed_fingerprint(b)
+        assert fa["entropy"] == fb["entropy"]
+        assert fa["spawn_key"] != fb["spawn_key"]
+
+    def test_tuple_seed(self):
+        fp = seed_fingerprint((42, 7, 0))
+        assert fp["entropy"] == [42, 7, 0]
+
+    def test_stable_across_calls(self):
+        assert seed_fingerprint(123) == seed_fingerprint(123)
+
+
+class TestTaskKey:
+    def test_deterministic(self):
+        k1 = task_key(ProbabilisticRelay(0.3), cfg(), 7, "vector", "phase")
+        k2 = task_key(ProbabilisticRelay(0.3), cfg(), 7, "vector", "phase")
+        assert k1 == k2
+        assert len(k1) == 64 and set(k1) <= set("0123456789abcdef")
+
+    @pytest.mark.parametrize(
+        "variant",
+        [
+            dict(policy=ProbabilisticRelay(0.4)),
+            dict(config=cfg(rho=20)),
+            dict(seed=8),
+            dict(engine="des"),
+            dict(alignment="jitter"),
+            dict(reuse_deployment=True),
+        ],
+    )
+    def test_every_input_is_in_the_key(self, variant):
+        base = dict(
+            policy=ProbabilisticRelay(0.3),
+            config=cfg(),
+            seed=7,
+            engine="vector",
+            alignment="phase",
+            reuse_deployment=False,
+        )
+        k_base = task_key(
+            base["policy"],
+            base["config"],
+            base["seed"],
+            base["engine"],
+            base["alignment"],
+            reuse_deployment=base["reuse_deployment"],
+        )
+        changed = {**base, **variant}
+        k_changed = task_key(
+            changed["policy"],
+            changed["config"],
+            changed["seed"],
+            changed["engine"],
+            changed["alignment"],
+            reuse_deployment=changed["reuse_deployment"],
+        )
+        assert k_base != k_changed
+
+    def test_spawned_children_get_distinct_keys(self):
+        root = np.random.SeedSequence(7)
+        a, b = root.spawn(2)
+        ka = task_key(ProbabilisticRelay(0.3), cfg(), a, "vector", "phase")
+        kb = task_key(ProbabilisticRelay(0.3), cfg(), b, "vector", "phase")
+        assert ka != kb
+
+
+class TestSweepKey:
+    def test_order_sensitive(self):
+        a = task_key(ProbabilisticRelay(0.3), cfg(), 1, "vector", "phase")
+        b = task_key(ProbabilisticRelay(0.3), cfg(), 2, "vector", "phase")
+        assert sweep_key([a, b]) != sweep_key([b, a])
+
+    def test_deterministic(self):
+        a = task_key(ProbabilisticRelay(0.3), cfg(), 1, "vector", "phase")
+        assert sweep_key([a]) == sweep_key([a])

@@ -1,0 +1,178 @@
+"""run_tasks: hit/miss logic, crash safety, retries, structured errors."""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.analysis.config import AnalysisConfig
+from repro.errors import SchedulerError
+from repro.obs import metrics as obs_metrics
+from repro.protocols.pbcast import ProbabilisticRelay
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import replicate
+from repro.store import DiskStore, run_tasks, sweep_key
+
+
+@pytest.fixture
+def results():
+    cfg = SimulationConfig(analysis=AnalysisConfig(n_rings=3, rho=15))
+    return replicate(ProbabilisticRelay(0.5), cfg, 4, seed=7)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return DiskStore(tmp_path / "store")
+
+
+TASKS = [0, 1, 2, 3]
+KEYS = [hashlib.sha256(f"task-{i}".encode()).hexdigest() for i in TASKS]
+
+
+class CountingExecute:
+    """Serial-path executor: returns canned results, counts calls."""
+
+    def __init__(self, results, fail_indices=(), fail_times=0):
+        self.results = results
+        self.calls = []
+        self.fail_indices = set(fail_indices)
+        self.fail_times = fail_times
+        self.failed = {}
+
+    def __call__(self, task):
+        self.calls.append(task)
+        if task in self.fail_indices:
+            n = self.failed.get(task, 0)
+            if self.fail_times < 0 or n < self.fail_times:
+                self.failed[task] = n + 1
+                raise RuntimeError(f"task {task} exploded")
+        return self.results[task]
+
+
+def assert_same(a, b):
+    np.testing.assert_array_equal(a.new_informed_by_slot, b.new_informed_by_slot)
+    np.testing.assert_array_equal(a.broadcasts_by_slot, b.broadcasts_by_slot)
+    assert a.seed_entropy == b.seed_entropy
+
+
+class TestColdAndWarm:
+    def test_cold_run_executes_and_persists_everything(self, store, results):
+        ex = CountingExecute(results)
+        out = run_tasks(ex, TASKS, KEYS, store=store)
+        assert ex.calls == TASKS
+        for a, b in zip(results, out, strict=True):
+            assert_same(a, b)
+        assert all(k in store for k in KEYS)
+        journal = store.journals_dir / f"{sweep_key(KEYS)}.jsonl"
+        assert journal.exists()
+        assert len(journal.read_text().splitlines()) == 1 + len(TASKS)
+
+    def test_warm_run_executes_nothing(self, store, results):
+        run_tasks(CountingExecute(results), TASKS, KEYS, store=store)
+        ex = CountingExecute(results)
+        out = run_tasks(ex, TASKS, KEYS, store=store)
+        assert ex.calls == []
+        for a, b in zip(results, out, strict=True):
+            assert_same(a, b)
+
+    def test_without_store_plain_execution(self, results):
+        ex = CountingExecute(results)
+        out = run_tasks(ex, TASKS, KEYS, store=None)
+        assert ex.calls == TASKS and len(out) == 4
+
+    def test_mismatched_lengths_rejected(self, store, results):
+        with pytest.raises(ValueError):
+            run_tasks(CountingExecute(results), TASKS, KEYS[:2], store=store)
+
+    def test_hit_miss_counters(self, store, results):
+        run_tasks(CountingExecute(results), TASKS[:2], KEYS[:2], store=store)
+        with obs_metrics.collect() as reg:
+            run_tasks(CountingExecute(results), TASKS, KEYS, store=store)
+            snap = reg.snapshot()
+        assert snap["store.hits"] == 2
+        assert snap["store.misses"] == 2
+        assert snap["store.puts"] == 2
+
+
+class TestCorruption:
+    def test_corrupt_entry_recomputed_not_served(self, store, results):
+        run_tasks(CountingExecute(results), TASKS, KEYS, store=store)
+        store.path_for(KEYS[1]).write_text("garbage")
+        ex = CountingExecute(results)
+        out = run_tasks(ex, TASKS, KEYS, store=store)
+        assert ex.calls == [1]  # only the corrupted entry recomputes
+        for a, b in zip(results, out, strict=True):
+            assert_same(a, b)
+        assert store.verify() == []  # healthy again
+
+
+class TestFailures:
+    def test_transient_failure_retried(self, store, results):
+        ex = CountingExecute(results, fail_indices=(2,), fail_times=1)
+        out = run_tasks(ex, TASKS, KEYS, store=store, retries=1)
+        assert len(out) == 4
+        assert_same(out[2], results[2])
+        assert ex.calls.count(2) == 2
+
+    def test_persistent_failure_raises_scheduler_error(self, store, results):
+        ex = CountingExecute(results, fail_indices=(2,), fail_times=-1)
+        with pytest.raises(SchedulerError) as err:
+            run_tasks(ex, TASKS, KEYS, store=store, retries=1)
+        (index, key, exc) = err.value.failures[0]
+        assert index == 2 and key == KEYS[2]
+        assert isinstance(exc, RuntimeError)
+        assert "resume=True" in str(err.value)
+        # Siblings are persisted despite the failure.
+        assert all(k in store for i, k in enumerate(KEYS) if i != 2)
+        assert KEYS[2] not in store
+
+    def test_resume_after_failure_executes_only_the_failure(self, store, results):
+        with pytest.raises(SchedulerError):
+            run_tasks(
+                CountingExecute(results, fail_indices=(2,), fail_times=-1),
+                TASKS,
+                KEYS,
+                store=store,
+                retries=0,
+            )
+        ex = CountingExecute(results)  # "fixed code"
+        out = run_tasks(ex, TASKS, KEYS, store=store, resume=True)
+        assert ex.calls == [2]
+        for a, b in zip(results, out, strict=True):
+            assert_same(a, b)
+
+    def test_failure_without_store_still_structured(self, results):
+        ex = CountingExecute(results, fail_indices=(0,), fail_times=-1)
+        with pytest.raises(SchedulerError):
+            run_tasks(ex, TASKS, KEYS, store=None, retries=0)
+
+
+class TestTraceEvents:
+    def test_store_accesses_traced(self, store, results):
+        from repro.obs import trace as obs_trace
+        from repro.obs.events import StoreAccess
+
+        with obs_trace.capture() as buf:
+            run_tasks(CountingExecute(results), TASKS, KEYS, store=store)
+        events = [e for e in buf.events if isinstance(e, StoreAccess)]
+        assert {e.op for e in events} == {"miss", "put"}
+        assert sum(e.op == "put" for e in events) == len(TASKS)
+        with obs_trace.capture() as buf:
+            run_tasks(CountingExecute(results), TASKS, KEYS, store=store)
+        hits = [e for e in buf.events if isinstance(e, StoreAccess)]
+        assert all(e.op == "hit" for e in hits) and len(hits) == len(TASKS)
+
+
+class TestProgress:
+    def test_progress_counts_hits_and_completions(self, store, results):
+        run_tasks(CountingExecute(results), TASKS[:2], KEYS[:2], store=store)
+        seen = []
+        run_tasks(
+            CountingExecute(results),
+            TASKS,
+            KEYS,
+            store=store,
+            progress=lambda done, total, chunk: seen.append((done, total)),
+        )
+        assert seen[0] == (2, 4)  # hits reported first
+        assert seen[-1] == (4, 4)
