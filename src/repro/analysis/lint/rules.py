@@ -435,11 +435,20 @@ class VecObjectDtype(Rule):
     id = "vec-object-dtype"
     summary = (
         "no dtype=object, np.vectorize or np.append in hot-path modules "
-        "(sim/engine.py, collision/*, geometry/*)"
+        "(sim/engine.py, collision/*, geometry/*, the batch channel kernels "
+        "in models/, network/topology.py)"
     )
 
     _HOT_PREFIXES = ("src/repro/collision/", "src/repro/geometry/")
-    _HOT_FILES = ("src/repro/sim/engine.py",)
+    # The replication-batched engine made the channel kernels and the
+    # stacked CSR builder first-class (R, nodes) hot paths.
+    _HOT_FILES = (
+        "src/repro/sim/engine.py",
+        "src/repro/models/cam.py",
+        "src/repro/models/cfm.py",
+        "src/repro/models/channel.py",
+        "src/repro/network/topology.py",
+    )
     _BANNED_NP: ClassVar[set[str]] = {"vectorize", "append"}
 
     def applies(self, path: str) -> bool:
@@ -511,7 +520,8 @@ class ApiSeedKwarg(Rule):
     id = "api-seed-kwarg"
     summary = (
         "public run*/sweep*/replicate*/simulate* module-level entry points must "
-        "take a seed/rng parameter and never default it to a literal int"
+        "take a seed/rng parameter (or the plural seeds/rngs of batch entry "
+        "points) and never default it to a literal int"
     )
 
     _PREFIXES = ("run", "sweep", "replicate", "simulate")
@@ -552,7 +562,11 @@ class ApiSeedKwarg(Rule):
 
     @staticmethod
     def _is_seed_param(name: str) -> bool:
-        return name in {"seed", "rng"} or name.endswith(("_seed", "_rng"))
+        # Plural forms cover replication-batched entry points, which
+        # take one seed (or generator) per replication.
+        return name in {"seed", "rng", "seeds", "rngs"} or name.endswith(
+            ("_seed", "_rng", "_seeds", "_rngs")
+        )
 
     @staticmethod
     def _defaults(args: ast.arguments) -> Iterator[tuple[ast.arg, ast.expr]]:

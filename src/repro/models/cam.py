@@ -19,13 +19,35 @@ import time
 
 import numpy as np
 
-from repro.models.channel import Channel, Delivery
-from repro.network.topology import Topology
+from repro.models.channel import Channel, Delivery, gather_neighbors
+from repro.network.topology import StackedTopology, Topology
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.obs.events import ChannelDelivery
 
-__all__ = ["CollisionAwareChannel"]
+__all__ = ["CollisionAwareChannel", "BatchCollisionAwareChannel", "counts_and_senders"]
+
+
+def counts_and_senders(
+    tx: np.ndarray, indptr: np.ndarray, indices: np.ndarray, n_nodes: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-receiver transmitter counts and sender-id sums, loop-free.
+
+    The neighbor gather (:func:`~repro.models.channel.gather_neighbors`)
+    feeds two ``np.bincount`` passes: receiver counts, and sums of
+    transmitting-neighbor ids.  The id sums stay exact in the float64
+    accumulator for any realistic network (bounded by
+    ``n_tx * n_nodes`` ≪ 2**53 — and still so under replication
+    stacking, where ids are global but per-receiver sender sets stay
+    within one replication).
+    """
+    receivers, senders = gather_neighbors(tx, indptr, indices)
+    if receivers.size == 0:
+        zeros = np.zeros(n_nodes, dtype=np.int64)
+        return zeros, zeros.copy()
+    counts = np.asarray(np.bincount(receivers, minlength=n_nodes), dtype=np.int64)
+    id_sum = np.bincount(receivers, weights=senders, minlength=n_nodes).astype(np.int64)
+    return counts, id_sum
 
 
 class CollisionAwareChannel(Channel):
@@ -51,46 +73,8 @@ class CollisionAwareChannel(Channel):
     def _counts_and_senders(
         self, tx: np.ndarray, indptr: np.ndarray, indices: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Per-receiver transmitter counts and sender-id sums, loop-free.
-
-        All CSR neighbor slices of the transmitters are gathered with one
-        fancy index (``np.repeat`` over the slice lengths builds the flat
-        positions), then two ``np.bincount`` passes accumulate the
-        receiver counts and the sums of transmitting-neighbor ids.  The
-        id sums stay exact in the float64 accumulator for any realistic
-        network (they are bounded by ``n_tx * n_nodes`` ≪ 2**53).
-        """
-        n = self.topology.n_nodes
-        starts = indptr[tx]
-        ends = indptr[tx + 1]
-        lengths = ends - starts
-        total = int(lengths.sum())
-        if total == 0:
-            zeros = np.zeros(n, dtype=np.int64)
-            return zeros, zeros.copy()
-        # Zero-degree transmitters contribute nothing; dropping their empty
-        # slices keeps the boundary bookkeeping below duplicate-free.
-        nz = lengths > 0
-        s_nz = starts[nz]
-        e_nz = ends[nz]
-        if np.array_equal(s_nz[1:], e_nz[:-1]):
-            # The slices are back-to-back (e.g. flooding with every node
-            # transmitting): the gather is a single contiguous view.
-            receivers = indices[s_nz[0] : e_nz[-1]]
-        else:
-            # flat[k] walks each transmitter's CSR slice in order:
-            # start_t, start_t + 1, ..., end_t - 1 for each t in tx.
-            # Built as a cumsum of unit steps with a jump to the next
-            # slice start at each boundary (cheaper than repeat+arange).
-            bounds = np.cumsum(lengths[nz])
-            steps = np.ones(total, dtype=np.int64)
-            steps[0] = s_nz[0]
-            steps[bounds[:-1]] = s_nz[1:] - e_nz[:-1] + 1
-            receivers = indices[np.cumsum(steps)]
-        senders = np.repeat(tx, lengths)
-        counts = np.asarray(np.bincount(receivers, minlength=n), dtype=np.int64)
-        id_sum = np.bincount(receivers, weights=senders, minlength=n).astype(np.int64)
-        return counts, id_sum
+        """Per-receiver counts/id-sums (see :func:`counts_and_senders`)."""
+        return counts_and_senders(tx, indptr, indices, self.topology.n_nodes)
 
     def _counts_and_senders_reference(
         self, tx: np.ndarray, indptr: np.ndarray, indices: np.ndarray
@@ -144,6 +128,59 @@ class CollisionAwareChannel(Channel):
                     n_collided=int(collided.size),
                 )
             )
+        return Delivery(
+            receivers=receivers,
+            senders=id_sum[receivers],
+            collided=collided,
+        )
+
+
+class BatchCollisionAwareChannel:
+    """CAM over a :class:`~repro.network.topology.StackedTopology`.
+
+    One :func:`counts_and_senders` pass over the stacked sender list
+    resolves every replication's slot at once: node ids are globally
+    disjoint across replications, so the global bincount decomposes
+    exactly into ``R`` independent per-replication resolutions — the
+    delivery is bit-identical to concatenating ``R`` per-run
+    :class:`CollisionAwareChannel` deliveries (all ids global).
+
+    No trace events are emitted here: the runner routes traced work to
+    the per-run engine, and a direct batched call under an enabled
+    tracer would otherwise interleave ``R`` replications in one stream.
+    """
+
+    def __init__(self, topology: StackedTopology, *, carrier_sense: bool = False) -> None:
+        self.topology = topology
+        self.carrier_sense = carrier_sense
+        if carrier_sense:
+            # Force construction now so the first slot isn't oddly slow.
+            topology.carrier_csr()
+
+    def resolve_slot(self, transmitters: np.ndarray) -> Delivery:
+        """Resolve one slot for all replications (global node ids)."""
+        tx = np.unique(np.asarray(transmitters, dtype=np.intp))
+        empty = np.zeros(0, dtype=np.int64)
+        if tx.size == 0:
+            return Delivery(receivers=empty, senders=empty.copy(), collided=empty.copy())
+
+        reg = obs_metrics.registry()
+        t0 = time.perf_counter() if reg.enabled else 0.0
+        n = self.topology.n_nodes
+        counts, id_sum = counts_and_senders(
+            tx, self.topology.indptr, self.topology.indices, n
+        )
+        ok = counts == 1
+        if self.carrier_sense:
+            c_indptr, c_indices = self.topology.carrier_csr()
+            c_counts, _ = counts_and_senders(tx, c_indptr, c_indices, n)
+            ok &= c_counts == 1
+        if reg.enabled:
+            reg.timer("cam.gather").add(time.perf_counter() - t0)
+            reg.counter("cam.slots").inc()
+
+        receivers = np.flatnonzero(ok).astype(np.int64)
+        collided = np.flatnonzero(counts >= 2).astype(np.int64)
         return Delivery(
             receivers=receivers,
             senders=id_sum[receivers],

@@ -11,11 +11,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.models.channel import Channel, Delivery
+from repro.models.channel import Channel, Delivery, gather_neighbors
+from repro.network.topology import StackedTopology
 from repro.obs import trace as obs_trace
 from repro.obs.events import ChannelDelivery
 
-__all__ = ["CollisionFreeChannel"]
+__all__ = ["CollisionFreeChannel", "BatchCollisionFreeChannel"]
 
 
 class CollisionFreeChannel(Channel):
@@ -52,6 +53,45 @@ class CollisionFreeChannel(Channel):
                     n_collided=0,
                 )
             )
+        return Delivery(
+            receivers=receivers,
+            senders=sender_of[receivers],
+            collided=np.zeros(0, dtype=np.int64),
+        )
+
+
+class BatchCollisionFreeChannel:
+    """CFM over a :class:`~repro.network.topology.StackedTopology`.
+
+    The per-run channel's lowest-id-wins tie-break is an elementwise
+    minimum over each receiver's transmitting neighbors, so one
+    ``np.minimum.at`` scatter over the stacked neighbor gather resolves
+    every replication's slot at once.  Node ids are globally disjoint
+    across replications, making the result bit-identical to ``R``
+    per-run :class:`CollisionFreeChannel` resolutions (all ids global).
+
+    Like the batched CAM channel, this emits no trace events — traced
+    work goes through the per-run engine.
+    """
+
+    def __init__(self, topology: StackedTopology) -> None:
+        self.topology = topology
+
+    def resolve_slot(self, transmitters: np.ndarray) -> Delivery:
+        """Resolve one slot for all replications (global node ids)."""
+        tx = np.unique(np.asarray(transmitters, dtype=np.intp))
+        empty = np.zeros(0, dtype=np.int64)
+        if tx.size == 0:
+            return Delivery(receivers=empty, senders=empty.copy(), collided=empty.copy())
+        n = self.topology.n_nodes
+        receivers_flat, senders_flat = gather_neighbors(
+            tx, self.topology.indptr, self.topology.indices
+        )
+        # n is one past any valid id, so min(n, senders) is the lowest
+        # transmitting neighbor where one exists and n elsewhere.
+        sender_of = np.full(n, n, dtype=np.int64)
+        np.minimum.at(sender_of, receivers_flat, senders_flat)
+        receivers = np.flatnonzero(sender_of < n).astype(np.int64)
         return Delivery(
             receivers=receivers,
             senders=sender_of[receivers],

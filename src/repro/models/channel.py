@@ -15,7 +15,45 @@ import numpy as np
 
 from repro.network.topology import Topology
 
-__all__ = ["Delivery", "Channel"]
+__all__ = ["Delivery", "Channel", "gather_neighbors"]
+
+
+def gather_neighbors(
+    tx: np.ndarray, indptr: np.ndarray, indices: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Flat ``(receivers, senders)`` pairs of all transmitters' CSR slices.
+
+    One fancy index gathers every transmitter's neighbor slice;
+    ``receivers[k]`` hears ``senders[k]``.  This is the shared front end
+    of both collision kernels — per-run and replication-batched alike —
+    because a stacked CSR with disjoint per-replication id ranges makes
+    the gather over ``R`` topologies the same operation as over one.
+
+    The flat positions are built as a cumsum of unit steps with a jump
+    to the next slice start at each boundary (cheaper than
+    ``repeat`` + ``arange``); back-to-back slices (e.g. flooding where
+    every node transmits) collapse to a single contiguous view.
+    """
+    starts = indptr[tx]
+    ends = indptr[tx + 1]
+    lengths = ends - starts
+    total = int(lengths.sum())
+    if total == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty.copy()
+    nz = lengths > 0
+    s_nz = starts[nz]
+    e_nz = ends[nz]
+    if np.array_equal(s_nz[1:], e_nz[:-1]):
+        receivers = indices[s_nz[0] : e_nz[-1]]
+    else:
+        bounds = np.cumsum(lengths[nz])
+        steps = np.ones(total, dtype=np.int64)
+        steps[0] = s_nz[0]
+        steps[bounds[:-1]] = s_nz[1:] - e_nz[:-1] + 1
+        receivers = indices[np.cumsum(steps)]
+    senders = np.repeat(tx, lengths)
+    return receivers, senders
 
 
 @dataclass(frozen=True)

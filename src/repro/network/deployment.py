@@ -17,10 +17,10 @@ import numpy as np
 
 from repro.geometry.rings import RingPartition
 from repro.geometry.sampling import sample_disk
-from repro.network.topology import Topology
+from repro.network.topology import StackedTopology, Topology
 from repro.utils.validation import check_in, check_positive, check_positive_int
 
-__all__ = ["DiskDeployment"]
+__all__ = ["DiskDeployment", "DeploymentBatch"]
 
 SOURCE = 0  #: node id of the broadcast source in every deployment
 
@@ -136,3 +136,124 @@ class DiskDeployment:
     def topology(self, *, carrier_radius: float | None = None) -> Topology:
         """Build the unit-disk communication graph for this deployment."""
         return Topology(self.positions, self.radius, carrier_radius=carrier_radius)
+
+
+class DeploymentBatch:
+    """``R`` deployments of one scenario, stacked for batched execution.
+
+    The batch is the deployment-side half of the replication-batched
+    engine (:func:`repro.sim.engine.run_broadcast_batch`): ``R``
+    independent :class:`DiskDeployment` draws concatenated into one flat
+    ``(N, 2)`` position array with ``node_offsets`` marking each
+    replication's contiguous global-id block, plus a padded/masked
+    ``(R, n_max, 2)`` view for callers that want a rectangular tensor.
+
+    Bit-identity contract: :meth:`sample` draws each replication with
+    *its own* generator via :meth:`DiskDeployment.sample`, consuming
+    exactly the random values the per-run path would — the stacking is
+    a storage layout, never a change to the random stream.  Populations
+    may differ across replications (``"poisson"``), which is why the
+    flat + offsets layout is primary and the ``(R, n_max)`` view is
+    padding over it.
+    """
+
+    def __init__(self, deployments: tuple[DiskDeployment, ...] | list[DiskDeployment]):
+        deployments = tuple(deployments)
+        if not deployments:
+            raise ValueError("DeploymentBatch needs at least one deployment")
+        first = deployments[0]
+        for dep in deployments[1:]:
+            if dep.radius != first.radius or dep.n_rings != first.n_rings:
+                raise ValueError(
+                    "all deployments in a batch must share radius and n_rings"
+                )
+        self.deployments = deployments
+        self.radius = first.radius
+        self.n_rings = first.n_rings
+        counts = np.array([dep.n_nodes for dep in deployments], dtype=np.int64)
+        self.node_offsets = np.zeros(len(deployments) + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.node_offsets[1:])
+        self.positions = np.vstack([dep.positions for dep in deployments])
+        self.positions.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def sample(
+        cls,
+        *,
+        rho: float,
+        n_rings: int,
+        radius: float = 1.0,
+        rngs: list[np.random.Generator],
+        population: str = "fixed",
+    ) -> "DeploymentBatch":
+        """Draw ``len(rngs)`` deployments, one per generator.
+
+        Each replication consumes random values from its own generator
+        in exactly the order :meth:`DiskDeployment.sample` would, so a
+        batch draw is bit-identical to ``R`` independent per-run draws.
+        """
+        return cls(
+            [
+                DiskDeployment.sample(
+                    rho=rho,
+                    n_rings=n_rings,
+                    radius=radius,
+                    rng=rng,
+                    population=population,
+                )
+                for rng in rngs
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_reps(self) -> int:
+        """Number of stacked replications ``R``."""
+        return len(self.deployments)
+
+    @property
+    def n_nodes_total(self) -> int:
+        """Total node count across all replications."""
+        return int(self.node_offsets[-1])
+
+    @property
+    def source_ids(self) -> np.ndarray:
+        """Global node id of each replication's source (its block start)."""
+        return self.node_offsets[:-1].copy()
+
+    def padded_positions(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(R, n_max, 2)`` positions plus the ``(R, n_max)`` validity mask.
+
+        Replications shorter than ``n_max`` are zero-padded; the mask is
+        ``True`` exactly where a real node exists.
+        """
+        counts = np.diff(self.node_offsets)
+        n_max = int(counts.max())
+        padded = np.zeros((self.n_reps, n_max, 2), dtype=float)
+        mask = np.arange(n_max)[None, :] < counts[:, None]
+        padded[mask] = self.positions
+        return padded, mask
+
+    def ring_indices(self) -> np.ndarray:
+        """Flat ``(N,)`` ring number (1-based) of every stacked node."""
+        partition = RingPartition(self.n_rings, self.radius)
+        radial = np.hypot(self.positions[:, 0], self.positions[:, 1])
+        return np.asarray(partition.ring_of(radial))
+
+    def stacked_topology(
+        self, *, carrier_radius: float | None = None
+    ) -> StackedTopology:
+        """One stacked CSR adjacency serving every replication."""
+        return StackedTopology(
+            self.positions,
+            self.node_offsets,
+            self.radius,
+            carrier_radius=carrier_radius,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DeploymentBatch(reps={self.n_reps}, n={self.n_nodes_total}, "
+            f"r={self.radius}, P={self.n_rings})"
+        )

@@ -79,6 +79,21 @@ class SweepProgress:
         self._last_print = now
         self._print(now)
 
+    def update_blocks(self, done: int, total: int, results: Sequence) -> None:
+        """Progress hook for replication-*block* dispatch.
+
+        When the runner batches replications, each ``parallel_map`` item
+        is a whole block and its result is a ``list[RunResult]`` —
+        ``done``/``total`` arrive in block units, which would make the
+        ``X/Y runs`` line and the ETA lie by the block factor.  This
+        hook flattens the blocks and advances the run counter by the
+        number of runs they actually contain, keeping every printed
+        quantity in run units (``self.total`` stays the run total the
+        instance was constructed with).
+        """
+        runs = [r for block in results for r in block]
+        self.update(self._done + len(runs), self.total, runs)
+
     def _print(self, now: float) -> None:
         elapsed = max(now - self._t0, 1e-9)
         rate = self._done / elapsed

@@ -17,7 +17,7 @@ aggregates results with confidence intervals.
 
 from repro.sim.config import SimulationConfig
 from repro.sim.results import AggregateResult, RunResult, aggregate_metric
-from repro.sim.engine import run_broadcast
+from repro.sim.engine import run_broadcast, run_broadcast_batch
 from repro.sim.desimpl import DesBroadcastSimulation
 from repro.sim.reliable import ReliableFloodingSimulation
 from repro.sim.runner import replicate, simulate_pb
@@ -28,6 +28,7 @@ __all__ = [
     "AggregateResult",
     "aggregate_metric",
     "run_broadcast",
+    "run_broadcast_batch",
     "DesBroadcastSimulation",
     "ReliableFloodingSimulation",
     "replicate",

@@ -31,6 +31,7 @@ from repro.network.deployment import DiskDeployment
 from repro.obs import metrics as obs_metrics
 from repro.obs import progress as obs_progress
 from repro.obs import provenance as obs_provenance
+from repro.obs import trace as obs_trace
 from repro.protocols.base import RelayPolicy
 from repro.protocols.pbcast import ProbabilisticRelay
 from repro.sim.config import SimulationConfig
@@ -50,6 +51,12 @@ StoreLike = Union["DiskStore", str, "os.PathLike[str]", None]
 
 #: Accepted forms of the ``manifest_dir=`` argument.
 PathLike = Union[str, "os.PathLike[str]", None]
+
+#: Replications dispatched per pool task when the batched engine is
+#: eligible (``engine="vector"``, no tracer attached) and the caller
+#: left ``block_size=None``.  Matches the paper's ~30 runs per grid
+#: point, so a whole point usually advances as one stacked update.
+DEFAULT_BLOCK_SIZE = 32
 
 
 def _execute(task: tuple) -> RunResult:
@@ -72,6 +79,68 @@ def _execute(task: tuple) -> RunResult:
     return result
 
 
+def _execute_block(tasks: Sequence[tuple]) -> list[RunResult]:
+    """Worker entry point for one replication block (top-level, pickles).
+
+    Every task in a block shares ``(policy, config, engine, alignment)``
+    by construction (see :func:`_block_assignment`); only seeds and
+    optional pre-built deployments vary, which is exactly the shape
+    :func:`~repro.sim.engine.run_broadcast_batch` consumes.
+    """
+    from repro.sim.engine import run_broadcast_batch
+
+    policy, config, _, _, _, _ = tasks[0]
+    seeds = [t[2] for t in tasks]
+    deployments = [t[5] for t in tasks]
+    deps = deployments if deployments[0] is not None else None
+    reg = obs_metrics.registry()
+    t0 = time.perf_counter() if reg.enabled else 0.0
+    results = run_broadcast_batch(policy, config, seeds, deployments=deps)
+    if reg.enabled:
+        reg.timer("runner.block").add(time.perf_counter() - t0)
+    return results
+
+
+def _resolve_block_size(block_size: int | None, engine: str) -> int:
+    """Effective replication-block size; ``0`` selects the per-run path.
+
+    The batched engine only stands in for ``engine="vector"`` and only
+    when no tracer is attached: traced runs go through
+    :func:`~repro.sim.engine.run_broadcast` so each replication reports
+    its own per-slot event stream (results are bit-identical either
+    way; see the telemetry-neutrality tests).
+    """
+    if engine != "vector" or obs_trace.get_tracer().enabled:
+        return 0
+    if block_size is None:
+        return DEFAULT_BLOCK_SIZE
+    if block_size < 0:
+        raise ConfigurationError(f"block_size must be >= 0, got {block_size}")
+    return 0 if block_size <= 1 else block_size
+
+
+def _block_assignment(groups: Sequence[int], block_size: int) -> list[int]:
+    """Block id per task: consecutive same-group tasks, ``block_size`` max.
+
+    ``groups[i]`` identifies the ``(policy, config)`` family of task
+    ``i`` (e.g. the grid-point index); only consecutive tasks of one
+    family may share a block, which is what lets the block worker pull
+    ``policy``/``config`` from its first member.
+    """
+    block_of: list[int] = []
+    bid = -1
+    count = block_size
+    prev: int | None = None
+    for g in groups:
+        if g != prev or count >= block_size:
+            bid += 1
+            count = 0
+            prev = g
+        block_of.append(bid)
+        count += 1
+    return block_of
+
+
 def _open_store(store: StoreLike) -> "DiskStore | None":
     """Normalize the ``store=`` argument (lazy import keeps cold start lean)."""
     if store is None:
@@ -90,9 +159,16 @@ def _run_task_list(
     resume: bool,
     workers: int | None,
     retries: int,
-    hook: Callable | None,
+    prog: "obs_progress.SweepProgress | None",
+    block_of: list[int] | None = None,
 ) -> list[RunResult]:
-    """Dispatch a task list through the scheduler or plain parallel_map."""
+    """Dispatch a task list through the scheduler or plain parallel_map.
+
+    ``block_of`` (from :func:`_block_assignment`) switches on
+    replication-block dispatch: each block becomes one pool task running
+    :func:`~repro.sim.engine.run_broadcast_batch`.  Results, store
+    entries, and progress lines stay per run either way.
+    """
     if store is not None:
         from repro.store.scheduler import run_tasks
 
@@ -105,9 +181,35 @@ def _run_task_list(
             resume=resume,
             workers=workers,
             retries=retries,
-            progress=hook,
+            progress=prog.update if prog is not None else None,
+            batch_execute=_execute_block if block_of is not None else None,
+            block_of=block_of,
         )
-    return parallel_map(_execute, tasks, workers=workers, progress=hook)
+    if block_of is not None:
+        blocks: list[list[int]] = []
+        prev_bid: int | None = None
+        for i, bid in enumerate(block_of):
+            if not blocks or bid != prev_bid:
+                blocks.append([])
+                prev_bid = bid
+            blocks[-1].append(i)
+        block_results = parallel_map(
+            _execute_block,
+            [[tasks[i] for i in blk] for blk in blocks],
+            workers=workers,
+            progress=prog.update_blocks if prog is not None else None,
+        )
+        out: list[RunResult | None] = [None] * len(tasks)
+        for blk, res in zip(blocks, block_results, strict=True):
+            for i, r in zip(blk, res, strict=True):
+                out[i] = r
+        return [r for r in out if r is not None]
+    return parallel_map(
+        _execute,
+        tasks,
+        workers=workers,
+        progress=prog.update if prog is not None else None,
+    )
 
 
 def replicate(
@@ -124,6 +226,7 @@ def replicate(
     store: StoreLike = None,
     resume: bool = False,
     retries: int = 1,
+    block_size: int | None = None,
 ) -> list[RunResult]:
     """Run ``replications`` independent simulations of one scenario.
 
@@ -142,6 +245,17 @@ def replicate(
     workers:
         Process count for :func:`repro.utils.parallel.parallel_map`;
         ``1`` (default) runs serially, ``None`` uses all cores but one.
+        With batching, a pool task is one replication *block*.
+    block_size:
+        Replications advanced per
+        :func:`~repro.sim.engine.run_broadcast_batch` block.  ``None``
+        (default) picks :data:`DEFAULT_BLOCK_SIZE` when the batched
+        engine is eligible; ``0`` (or ``1``) forces the per-run path.
+        The batched path only stands in for ``engine="vector"`` with no
+        tracer attached — traced runs always use
+        :func:`~repro.sim.engine.run_broadcast` so each replication
+        reports its own event stream.  Results are bit-identical for
+        every setting; only wall-clock changes.
     progress:
         If true, print throttled progress/ETA lines to stderr via
         :class:`repro.obs.progress.SweepProgress`.
@@ -180,9 +294,15 @@ def replicate(
         task_keys = [
             task_key(policy, config, child, engine, alignment) for child in children
         ]
-    hook = obs_progress.SweepProgress(len(tasks), "replicate").update if progress else None
+    resolved_block = _resolve_block_size(block_size, engine)
+    block_of = (
+        _block_assignment([0] * len(tasks), resolved_block)
+        if resolved_block > 1
+        else None
+    )
+    prog = obs_progress.SweepProgress(len(tasks), "replicate") if progress else None
     results = _run_task_list(
-        tasks, task_keys, disk_store, resume, workers, retries, hook
+        tasks, task_keys, disk_store, resume, workers, retries, prog, block_of
     )
     if manifest_dir is not None:
         obs_provenance.write_manifest(
@@ -216,6 +336,7 @@ def simulate_pb(
     manifest_dir: PathLike = None,
     store: StoreLike = None,
     resume: bool = False,
+    block_size: int | None = None,
 ) -> list[RunResult]:
     """Replicated probability-based broadcast — the paper's Sec. 5 unit.
 
@@ -234,6 +355,7 @@ def simulate_pb(
         manifest_dir=manifest_dir,
         store=store,
         resume=resume,
+        block_size=block_size,
     )
 
 
@@ -255,6 +377,7 @@ def sweep_grid(
     store: StoreLike = None,
     resume: bool = False,
     retries: int = 1,
+    block_size: int | None = None,
 ) -> dict[tuple[float, float], list[RunResult]]:
     """Replicated simulations over a full ``(rho, p)`` grid, one pool.
 
@@ -318,6 +441,13 @@ def sweep_grid(
         With ``store``: extra execution rounds for tasks that raised
         before a structured :class:`~repro.errors.SchedulerError`
         surfaces them (completed siblings stay persisted).
+    block_size:
+        As in :func:`replicate`: replications advanced per batched-
+        engine block.  Blocks never span grid points (each point has
+        its own policy and config), so a point's ``replications`` runs
+        form ``ceil(replications / block_size)`` pool tasks.  Store
+        keys and payloads stay per run, bit-identical to the per-run
+        path.
 
     Returns
     -------
@@ -342,10 +472,13 @@ def sweep_grid(
     root = as_seed_sequence(seed)
     disk_store = _open_store(store)
     tasks = []
+    # Grid-point index per task: replication blocks may only form
+    # within one (rho, p) point, where policy and config are shared.
+    groups: list[int] = []
 
     if reuse_deployments:
         rho_roots = root.spawn(len(rhos))
-        for cfg, rho_root in zip(configs, rho_roots, strict=True):
+        for ri, (cfg, rho_root) in enumerate(zip(configs, rho_roots, strict=True)):
             cells = []
             for cell in rho_root.spawn(replications):
                 # Separate streams for the deployment draw and the
@@ -360,11 +493,12 @@ def sweep_grid(
                     population=cfg.population,
                 )
                 cells.append((run_seed, deployment))
-            for policy in policies:
+            for pi, policy in enumerate(policies):
                 for run_seed, deployment in cells:
                     tasks.append(
                         (policy, cfg, run_seed, engine, alignment, deployment)
                     )
+                    groups.append(ri * len(ps) + pi)
     else:
         point_roots = None if point_seed is not None else root.spawn(len(rhos) * len(ps))
         for ri, cfg in enumerate(configs):
@@ -375,6 +509,7 @@ def sweep_grid(
                     point_root = point_roots[ri * len(ps) + pi]
                 for child in point_root.spawn(replications):
                     tasks.append((policy, cfg, child, engine, alignment, None))
+                    groups.append(ri * len(ps) + pi)
 
     task_keys: list[str] | None = None
     if disk_store is not None:
@@ -387,9 +522,13 @@ def sweep_grid(
             for t in tasks
         ]
 
-    hook = obs_progress.SweepProgress(len(tasks), "sweep").update if progress else None
+    resolved_block = _resolve_block_size(block_size, engine)
+    block_of = (
+        _block_assignment(groups, resolved_block) if resolved_block > 1 else None
+    )
+    prog = obs_progress.SweepProgress(len(tasks), "sweep") if progress else None
     results = _run_task_list(
-        tasks, task_keys, disk_store, resume, workers, retries, hook
+        tasks, task_keys, disk_store, resume, workers, retries, prog, block_of
     )
 
     grid: dict[tuple[float, float], list[RunResult]] = {}

@@ -56,6 +56,18 @@ def _run_indexed(
     return index, execute(task)
 
 
+def _run_indexed_block(
+    batch_execute: Callable[[Sequence[Any]], Sequence[RunResult]],
+    items: Sequence[tuple[int, Any]],
+) -> list[tuple[int, RunResult]]:
+    """Worker wrapper for one replication block: indices ride along."""
+    block_results = batch_execute([task for _, task in items])
+    return [
+        (index, result)
+        for (index, _), result in zip(items, block_results, strict=True)
+    ]
+
+
 class _Recorder:
     """Parent-side completion hook: persist, journal, report progress.
 
@@ -101,6 +113,16 @@ class _Recorder:
         for item in chunk:
             if isinstance(item, TaskFailure):
                 continue
+            if isinstance(item, list):
+                # One replication block: a list of (index, result) pairs.
+                # Recording them individually keeps persistence, the
+                # journal, and the progress hook in run units, so
+                # batching never changes what lands in the store or
+                # what ``done/total`` mean.
+                for index, result in item:
+                    self.record(index, result)
+                    fresh.append(result)
+                continue
             index, result = item
             self.record(index, result)
             fresh.append(result)
@@ -119,6 +141,8 @@ def run_tasks(
     workers: int | None = 1,
     retries: int = 1,
     progress: ProgressHook | None = None,
+    batch_execute: Callable[[Sequence[Any]], Sequence[RunResult]] | None = None,
+    block_of: Sequence[int] | None = None,
 ) -> list[RunResult]:
     """Execute ``tasks`` through the store, returning results in order.
 
@@ -129,6 +153,15 @@ def run_tasks(
     tasks, keys:
         Parallel sequences: ``keys[i]`` is the content-addressed key of
         ``tasks[i]``.
+    batch_execute, block_of:
+        Optional replication-block dispatch: ``block_of[i]`` assigns
+        task ``i`` to a block, and the first execution round hands each
+        block of cache misses to ``batch_execute`` as one pool task
+        (blocks re-form over the misses, so a warm store shrinks blocks
+        instead of recomputing hits).  Keys, persistence, the journal,
+        and progress all stay per *task* — batching is an execution
+        strategy, never part of a task's identity.  Retry rounds fall
+        back to ``execute`` per task, isolating any member that fails.
     store:
         The result store; ``None`` degrades to plain
         :func:`~repro.utils.parallel.parallel_map` semantics (still
@@ -212,6 +245,8 @@ def run_tasks(
     # ------------------------------------------------------------------
     # phase 2: execute misses, persisting as chunks complete
     # ------------------------------------------------------------------
+    if batch_execute is not None and block_of is not None and len(block_of) != n:
+        raise ValueError(f"{n} tasks but {len(block_of)} block assignments")
     recorder = _Recorder(store, journal, keys, n, hits, progress)
     pending = missing
     failures: list[TaskFailure] = []
@@ -220,6 +255,40 @@ def run_tasks(
             break
         if attempt and reg.enabled:
             reg.counter("store.retries").inc(len(pending))
+        if batch_execute is not None and block_of is not None and attempt == 0:
+            # Re-form blocks over the misses only: pending tasks with
+            # the same block id stay together as one pool task.
+            blocks: list[list[tuple[int, Any]]] = []
+            prev_bid: int | None = None
+            for item in pending:
+                bid = block_of[item[0]]
+                if not blocks or bid != prev_bid:
+                    blocks.append([])
+                    prev_bid = bid
+                blocks[-1].append(item)
+            outcome = parallel_map(
+                partial(_run_indexed_block, batch_execute),
+                blocks,
+                workers=workers,
+                progress=recorder,
+                return_exceptions=True,
+            )
+            failures = []
+            retry_items: list[tuple[int, Any]] = []
+            for position, item in enumerate(outcome):
+                if isinstance(item, TaskFailure):
+                    # The whole block failed together; every member is
+                    # retried individually in the next round.
+                    for task_index, task in blocks[position]:
+                        failures.append(
+                            TaskFailure(task_index, item.error, item.traceback_str)
+                        )
+                        retry_items.append((task_index, task))
+                else:
+                    for index, result in item:
+                        results[index] = result
+            pending = retry_items
+            continue
         outcome = parallel_map(
             partial(_run_indexed, execute),
             pending,
@@ -228,7 +297,7 @@ def run_tasks(
             return_exceptions=True,
         )
         failures = []
-        retry_items: list[tuple[int, Any]] = []
+        retry_items = []
         for position, item in enumerate(outcome):
             if isinstance(item, TaskFailure):
                 task_index = pending[position][0]

@@ -342,6 +342,37 @@ class TestVecObjectDtype:
         """
         assert findings(src, "src/repro/experiments/report.py", self.RULE) == []
 
+    def test_batch_channel_kernel_in_scope(self):
+        """The batched engine's (R, nodes) hot path covers the channel
+        kernels and the stacked CSR builder."""
+        src = """
+            import numpy as np
+            a = np.empty(5, dtype=object)
+        """
+        for path in (
+            "src/repro/models/cam.py",
+            "src/repro/models/cfm.py",
+            "src/repro/models/channel.py",
+            "src/repro/network/topology.py",
+        ):
+            assert len(findings(src, path, self.RULE)) == 1, path
+
+    def test_np_append_in_stacked_builder_triggers(self):
+        src = """
+            import numpy as np
+
+            def build_stacked(rows, extra):
+                return np.append(rows, extra)
+        """
+        assert len(findings(src, "src/repro/network/topology.py", self.RULE)) == 1
+
+    def test_other_models_modules_out_of_scope(self):
+        src = """
+            import numpy as np
+            a = np.empty(5, dtype=object)
+        """
+        assert findings(src, "src/repro/models/packet.py", self.RULE) == []
+
 
 class TestApiSeedKwarg:
     RULE = "api-seed-kwarg"
@@ -411,6 +442,43 @@ class TestApiSeedKwarg:
                 return config
         """
         assert findings(src, "benchmarks/bench_x.py", self.RULE) == []
+
+    def test_plural_seeds_param_ok(self):
+        """Batch entry points take one seed per replication; the plural
+        satisfies the rule just like the singular."""
+        src = """
+            def run_broadcast_batch(policy, config, seeds):
+                return policy, config, seeds
+        """
+        assert findings(src, "src/repro/sim/engine.py", self.RULE) == []
+
+    def test_plural_rngs_param_ok(self):
+        src = """
+            def simulate_block(config, *, rngs):
+                return config
+        """
+        assert findings(src, "src/repro/sim/engine.py", self.RULE) == []
+
+    def test_suffixed_plural_ok(self):
+        src = """
+            def sweep_blocks(grid, child_seeds):
+                return grid
+        """
+        assert findings(src, "src/repro/sim/runner.py", self.RULE) == []
+
+    def test_batch_entry_point_without_seeds_still_triggers(self):
+        src = """
+            def run_broadcast_batch(policy, config, n_reps):
+                return policy, config
+        """
+        assert len(findings(src, "src/repro/sim/engine.py", self.RULE)) == 1
+
+    def test_literal_default_on_seeds_triggers(self):
+        src = """
+            def replicate_block(config, seeds=1234):
+                return config
+        """
+        assert len(findings(src, "src/repro/sim/runner.py", self.RULE)) == 1
 
 
 class TestErrSilentExcept:

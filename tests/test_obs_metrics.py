@@ -139,5 +139,16 @@ class TestInstrumentation:
         from repro.sim.runner import replicate
 
         with metrics.collect() as reg:
-            replicate(ProbabilisticRelay(0.5), small_sim_config, 2, 7)
+            replicate(ProbabilisticRelay(0.5), small_sim_config, 2, 7, block_size=0)
         assert reg.snapshot()["runner.task"]["count"] == 2
+
+    def test_runner_block_timer(self, small_sim_config):
+        """The default dispatch batches replications: one block timing,
+        run counting via engine.runs."""
+        from repro.sim.runner import replicate
+
+        with metrics.collect() as reg:
+            replicate(ProbabilisticRelay(0.5), small_sim_config, 2, 7)
+        snap = reg.snapshot()
+        assert snap["runner.block"]["count"] == 1
+        assert snap["engine.runs"] == 2

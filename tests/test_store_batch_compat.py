@@ -1,0 +1,134 @@
+"""Store compatibility of the replication-batched path.
+
+Batching is an execution strategy, never part of a task's identity:
+a replication's store key and persisted payload must be the same
+whether it ran inside a :func:`repro.sim.engine.run_broadcast_batch`
+block or through :func:`repro.sim.engine.run_broadcast`.  Caches
+warmed by one path must serve the other verbatim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.config import AnalysisConfig
+from repro.protocols.pbcast import ProbabilisticRelay
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import run_broadcast, run_broadcast_batch
+from repro.sim.runner import replicate, sweep_grid
+from repro.store import DiskStore
+from repro.store.backend import pack_result
+from repro.store.keys import task_key
+from repro.utils.rng import as_seed_sequence
+
+
+@pytest.fixture
+def cfg():
+    return SimulationConfig(analysis=AnalysisConfig(n_rings=3, rho=15))
+
+
+def assert_runs_identical(a, b):
+    assert len(a) == len(b)
+    for x, y in zip(a, b, strict=True):
+        np.testing.assert_array_equal(x.new_informed_by_slot, y.new_informed_by_slot)
+        np.testing.assert_array_equal(x.broadcasts_by_slot, y.broadcasts_by_slot)
+        assert (x.n_field_nodes, x.collisions, x.total_tx, x.total_rx) == (
+            y.n_field_nodes,
+            y.collisions,
+            y.total_tx,
+            y.total_rx,
+        )
+        assert x.seed_entropy == y.seed_entropy
+        np.testing.assert_array_equal(x.informed_mask, y.informed_mask)
+        np.testing.assert_array_equal(
+            x.trace.new_by_phase_ring, y.trace.new_by_phase_ring
+        )
+
+
+class TestKeyIdentity:
+    def test_task_key_has_no_batch_component(self, cfg):
+        """Each replication's key depends on (policy, config, seed,
+        engine, alignment) only — the execution path cannot enter it."""
+        policy = ProbabilisticRelay(0.5)
+        children = as_seed_sequence(9).spawn(3)
+        keys = [task_key(policy, cfg, c, "vector", "phase") for c in children]
+        assert len(set(keys)) == 3
+        # Recomputing from identical inputs gives identical keys; there
+        # is no other input a batched runner could vary.
+        again = [task_key(policy, cfg, c, "vector", "phase") for c in children]
+        assert keys == again
+
+    def test_batched_and_per_run_store_same_keys(self, cfg, tmp_path):
+        policy = ProbabilisticRelay(0.5)
+        replicate(policy, cfg, 3, seed=9, store=tmp_path / "a", block_size=3)
+        replicate(policy, cfg, 3, seed=9, store=tmp_path / "b", block_size=0)
+        keys_a = sorted(DiskStore(tmp_path / "a").keys())
+        keys_b = sorted(DiskStore(tmp_path / "b").keys())
+        assert keys_a == keys_b
+        assert len(keys_a) == 3
+
+
+class TestPayloadIdentity:
+    def test_packed_payloads_identical(self, cfg):
+        """The persisted byte content (sans telemetry, which is never
+        stored) is equal for both execution paths."""
+        policy = ProbabilisticRelay(0.4)
+        seeds = as_seed_sequence(21).spawn(4)
+        batched = run_broadcast_batch(policy, cfg, seeds)
+        for r, seed in enumerate(seeds):
+            single = run_broadcast(policy, cfg, seed)
+            assert pack_result(batched[r]) == pack_result(single)
+
+
+class TestCrossPathCache:
+    def test_cold_batched_serves_warm_per_run(self, cfg, tmp_path):
+        policy = ProbabilisticRelay(0.5)
+        cold = replicate(policy, cfg, 4, seed=9, store=tmp_path / "s", block_size=4)
+        warm = replicate(policy, cfg, 4, seed=9, store=tmp_path / "s", block_size=0)
+        assert_runs_identical(cold, warm)
+        # The warm pass was all hits: telemetry is never persisted, so
+        # every result coming back from disk carries metrics=None.
+        assert all(r.metrics is None for r in warm)
+
+    def test_cold_per_run_serves_warm_batched(self, cfg, tmp_path):
+        policy = ProbabilisticRelay(0.5)
+        cold = replicate(policy, cfg, 4, seed=9, store=tmp_path / "s", block_size=0)
+        warm = replicate(policy, cfg, 4, seed=9, store=tmp_path / "s", block_size=4)
+        assert_runs_identical(cold, warm)
+        assert all(r.metrics is None for r in warm)
+
+    def test_partial_warm_blocks_reform_over_misses(self, cfg, tmp_path):
+        """Warm a prefix per-run, then run the full set batched: the
+        scheduler serves the hits from disk and re-forms blocks over
+        the misses, with results identical to storeless execution."""
+        policy = ProbabilisticRelay(0.5)
+        replicate(policy, cfg, 2, seed=9, store=tmp_path / "s", block_size=0)
+        full = replicate(policy, cfg, 6, seed=9, store=tmp_path / "s", block_size=3)
+        off = replicate(policy, cfg, 6, seed=9, block_size=0)
+        assert_runs_identical(full, off)
+        assert all(r.metrics is None for r in full[:2])
+
+    def test_sweep_grid_cross_path(self, cfg, tmp_path):
+        cold = sweep_grid(
+            cfg,
+            [15.0],
+            [0.4, 0.8],
+            3,
+            seed=5,
+            store=tmp_path / "s",
+            block_size=3,
+        )
+        warm = sweep_grid(
+            cfg,
+            [15.0],
+            [0.4, 0.8],
+            3,
+            seed=5,
+            store=tmp_path / "s",
+            block_size=0,
+        )
+        assert cold.keys() == warm.keys()
+        for point in cold:
+            assert_runs_identical(cold[point], warm[point])
+            assert all(r.metrics is None for r in warm[point])
