@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""CI guard: fail when a tracked benchmark median regresses past tolerance.
+
+Reads ``BENCH_perf.json`` and compares each key of its ``seed`` section
+against the same key in ``current`` (the medians the benchmark run just
+merged via ``--perf-json``).  Two baseline forms are supported:
+
+* a number — an absolute pre-optimization median, recorded only where
+  the optimized path has enough headroom that machine-to-machine
+  variance cannot produce false failures;
+* ``"baseline:<other-key>"`` — resolves to the *same run's* current
+  median of ``<other-key>``, guarding a relative claim (e.g. the
+  replication-batched engine must stay faster than the per-run loop,
+  the frontier search faster than the dense grid) independent of the
+  machine.
+
+A tracked key missing from ``current`` fails the guard: silently
+dropping a benchmark is how regressions hide.
+
+Tolerance: ``--tolerance`` or the ``REPRO_PERF_TOLERANCE`` environment
+variable (default 0.25 = current may exceed baseline by 25%).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+DEFAULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+ALIAS_PREFIX = "baseline:"
+
+
+def check(data: dict, tolerance: float) -> list[str]:
+    """Return a list of failure messages (empty = guard passes)."""
+    current = data.get("current", {})
+    seed = data.get("seed", {})
+    failures: list[str] = []
+    for key, baseline in sorted(seed.items()):
+        cur = current.get(key)
+        if cur is None:
+            failures.append(f"{key}: tracked in 'seed' but absent from 'current'")
+            continue
+        if isinstance(baseline, str):
+            if not baseline.startswith(ALIAS_PREFIX):
+                failures.append(f"{key}: malformed baseline spec {baseline!r}")
+                continue
+            ref = baseline[len(ALIAS_PREFIX) :]
+            base = current.get(ref)
+            if base is None:
+                failures.append(
+                    f"{key}: baseline alias {ref!r} absent from 'current'"
+                )
+                continue
+            label = f"alias {ref.split('::')[-1]}"
+        else:
+            base = float(baseline)
+            label = "absolute"
+        limit = base * (1.0 + tolerance)
+        ok = cur <= limit
+        print(
+            f"{'ok  ' if ok else 'FAIL'} {key}\n"
+            f"     current {cur:.6g}s vs {label} baseline {base:.6g}s "
+            f"(limit {limit:.6g}s)"
+        )
+        if not ok:
+            failures.append(
+                f"{key}: median {cur:.6g}s exceeds {label} baseline "
+                f"{base:.6g}s by more than {tolerance:.0%}"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--path", default=str(DEFAULT_PATH), help="BENCH_perf.json location"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="allowed relative regression (default: REPRO_PERF_TOLERANCE or 0.25)",
+    )
+    args = parser.parse_args(argv)
+    tolerance = args.tolerance
+    if tolerance is None:
+        tolerance = float(os.environ.get("REPRO_PERF_TOLERANCE", "0.25"))
+
+    path = Path(args.path)
+    if not path.exists():
+        print(f"error: {path} not found (run benchmarks with --perf-json first)")
+        return 1
+    data = json.loads(path.read_text())
+
+    failures = check(data, tolerance)
+    tracked = len(data.get("seed", {}))
+    if failures:
+        print(f"\nperf guard: {len(failures)}/{tracked} tracked keys FAILED")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(f"\nperf guard: all {tracked} tracked keys within {tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -519,12 +519,12 @@ class ApiSeedKwarg(Rule):
 
     id = "api-seed-kwarg"
     summary = (
-        "public run*/sweep*/replicate*/simulate* module-level entry points must "
-        "take a seed/rng parameter (or the plural seeds/rngs of batch entry "
-        "points) and never default it to a literal int"
+        "public run*/sweep*/replicate*/simulate*/optimize*/search* module-level "
+        "entry points must take a seed/rng parameter (or the plural seeds/rngs "
+        "of batch entry points) and never default it to a literal int"
     )
 
-    _PREFIXES = ("run", "sweep", "replicate", "simulate")
+    _PREFIXES = ("run", "sweep", "replicate", "simulate", "optimize", "search")
 
     def applies(self, path: str) -> bool:
         return _in_src_repro(path)

@@ -179,7 +179,10 @@ class BroadcastTrace:
         budget = check_positive("budget", budget)
         cum_b = self.cumulative_broadcasts
         if budget >= cum_b[-1]:
-            return self.final_reachability
+            # Read the same cumulative series the interpolated branch
+            # reads: ``final_reachability`` sums the ring matrix in a
+            # different order and can disagree by one ulp.
+            return self.reachability_after(float(self.phases))
         # Invert broadcasts(t) at the budget, taking the LATEST time the
         # budget still holds: broadcasts(t) can be flat across phases
         # with no transmissions while reachability keeps accruing, and

@@ -8,6 +8,13 @@ to quiescence once and every metric is post-processed from the same
 traces), so regenerating the full evaluation costs one sweep + one
 grid.
 
+The optimal-``p`` panels (4b–7b, 12) ride :mod:`repro.optimize`: when a
+dense analytical sweep is already cached (the a-panel ran first) the
+optimum is read straight off it, otherwise the adaptive frontier search
+probes only the rungs it needs — the hillclimb's lowest-``p`` tie-break
+reproduces the dense grid's first-index ``argmax``/``argmin`` exactly,
+so both paths return the same point (pinned by tests).
+
 Every generator takes an :class:`~repro.experiments.params.ExperimentScale`
 and returns a :class:`~repro.experiments.report.FigureResult`.
 """
@@ -20,9 +27,13 @@ import numpy as np
 
 from repro.analysis.flooding import flooding_success_rate
 from repro.analysis.ring_model import RingModel
+from repro.analysis.trace import BroadcastTrace
 from repro.errors import InfeasibleConstraintError
 from repro.experiments.params import ExperimentScale, PaperParams
 from repro.experiments.report import FigureResult
+from repro.optimize.search import search_frontier
+from repro.optimize.spec import OptimizeQuery, better, evaluate_trace
+from repro.optimize.surrogate import SurrogateModel
 from repro.sim.results import RunResult, aggregate_metric
 from repro.sim.runner import sweep_grid
 
@@ -33,6 +44,8 @@ __all__ = ["FIGURES", "generate_figure", "analysis_sweep", "simulation_grid"]
 # ----------------------------------------------------------------------
 _ANALYSIS_CACHE: dict[tuple, dict[str, np.ndarray]] = {}
 _SIM_CACHE: dict[tuple, dict[float, list[RunResult]]] = {}
+_SURROGATE_CACHE: dict[tuple, SurrogateModel] = {}
+_OPTIMUM_CACHE: dict[tuple, dict[str, float]] = {}
 
 
 def _scale_key(scale: ExperimentScale) -> tuple:
@@ -114,6 +127,7 @@ def simulation_grid(scale: ExperimentScale, rho: float) -> dict[float, list[RunR
         progress=scale.progress,
         store=scale.store,
         resume=scale.resume,
+        block_size=scale.block_size,
     )
     for r in rhos:
         grid = {
@@ -127,6 +141,8 @@ def clear_caches() -> None:
     """Drop cached sweeps/grids (mainly for benchmark isolation)."""
     _ANALYSIS_CACHE.clear()
     _SIM_CACHE.clear()
+    _SURROGATE_CACHE.clear()
+    _OPTIMUM_CACHE.clear()
 
 
 # ----------------------------------------------------------------------
@@ -143,9 +159,137 @@ def _per_rho_series(
 
 
 def _optimum(values: np.ndarray, sense: str) -> int | None:
-    if np.all(np.isnan(values)):
+    """Index of the best finite value, or ``None`` when there is none.
+
+    Non-finite entries (NaN infeasible points, inf overflow) never win,
+    and exact ties resolve to the first index — the lowest ``p`` — which
+    is the convention the adaptive search's tie-break mirrors.
+    """
+    values = np.asarray(values, dtype=float)
+    finite = np.isfinite(values)
+    if not finite.any():
         return None
-    return int(np.nanargmax(values) if sense == "max" else np.nanargmin(values))
+    if sense == "max":
+        return int(np.argmax(np.where(finite, values, -np.inf)))
+    return int(np.argmin(np.where(finite, values, np.inf)))
+
+
+#: The four metric sweeps of Figs. 4–7 as optimizer queries: metric key
+#: to (query, Evaluation attribute carrying the value, optimal sense).
+_METRIC_QUERIES: dict[str, tuple[OptimizeQuery, str, str]] = {
+    "reach_at_latency": (
+        OptimizeQuery(
+            bounds={"latency": PaperParams.LATENCY_BUDGET_PHASES},
+            objectives=("reachability",),
+        ),
+        "reachability",
+        "max",
+    ),
+    "latency_at_reach": (
+        OptimizeQuery(
+            bounds={"reachability": PaperParams.ANALYSIS_REACH_TARGET},
+            objectives=("latency",),
+        ),
+        "latency",
+        "min",
+    ),
+    "energy_at_reach": (
+        OptimizeQuery(
+            bounds={"reachability": PaperParams.ANALYSIS_REACH_TARGET},
+            objectives=("energy",),
+        ),
+        "energy",
+        "min",
+    ),
+    "reach_at_energy": (
+        OptimizeQuery(
+            bounds={"energy": PaperParams.ANALYSIS_ENERGY_BUDGET},
+            objectives=("reachability",),
+        ),
+        "reachability",
+        "max",
+    ),
+}
+
+
+def _trace_metric(trace: BroadcastTrace, metric_key: str) -> float:
+    """One analytic metric off a quiescent trace (NaN when infeasible).
+
+    Bit-identical to the corresponding :func:`analysis_sweep` array
+    entry: the optimizer's stopping rule reproduces the trace methods
+    the sweep calls directly.
+    """
+    query, attr, _ = _METRIC_QUERIES[metric_key]
+    ev = evaluate_trace(trace, query)
+    return float(getattr(ev, attr)) if ev.feasible else float("nan")
+
+
+def _surrogate(scale: ExperimentScale, rho: float) -> SurrogateModel:
+    key = (_scale_key(scale), float(rho))
+    model = _SURROGATE_CACHE.get(key)
+    if model is None:
+        model = _SURROGATE_CACHE[key] = SurrogateModel(
+            scale.analysis_config(rho), max_phases=200
+        )
+    return model
+
+
+def _optimal_point(
+    scale: ExperimentScale, rho: float, metric_key: str
+) -> dict[str, float]:
+    """The optimal-``p`` point of one metric sweep at one density.
+
+    Returns ``p`` (NaN when no feasible probability exists), all four
+    metric values at that ``p``, and the flooding (``p = 1``) values as
+    ``flooding_<metric>``.  Reads the dense sweep when it is cached (the
+    a-panel already paid for it); otherwise runs the adaptive frontier
+    search, probing only the rungs the hillclimb visits.  Both paths
+    return the same point: the search's lowest-``p`` tie-break matches
+    the dense grid's first-index convention (pinned by tests).
+    """
+    key = (_scale_key(scale), float(rho), metric_key)
+    if key in _OPTIMUM_CACHE:
+        return _OPTIMUM_CACHE[key]
+    grid = scale.analysis_p_grid
+    query, _attr, sense = _METRIC_QUERIES[metric_key]
+    point: dict[str, float] = {}
+    dense = _ANALYSIS_CACHE.get((_scale_key(scale), float(rho)))
+    if dense is not None:
+        i = _optimum(dense[metric_key], sense)
+        point["p"] = float(grid[i]) if i is not None else float("nan")
+        for mk in _METRIC_QUERIES:
+            point[mk] = float(dense[mk][i]) if i is not None else float("nan")
+            point[f"flooding_{mk}"] = float(dense[mk][-1])
+    else:
+        model = _surrogate(scale, rho)
+        outcome = search_frontier(
+            lambda rungs: model.evaluate(query, [float(grid[r]) for r in rungs]),
+            grid,
+            query,
+            None,
+            restarts=0,
+        )
+        best: int | None = None
+        for rung in sorted(outcome.evaluations):
+            ev = outcome.evaluations[rung]
+            if not ev.feasible:
+                continue
+            if best is None or better(ev, outcome.evaluations[best], query):
+                best = rung
+        if best is None:
+            point["p"] = float("nan")
+            for mk in _METRIC_QUERIES:
+                point[mk] = float("nan")
+        else:
+            point["p"] = float(grid[best])
+            trace = model.trace(float(grid[best]))
+            for mk in _METRIC_QUERIES:
+                point[mk] = _trace_metric(trace, mk)
+        flood = model.trace(float(grid[-1]))
+        for mk in _METRIC_QUERIES:
+            point[f"flooding_{mk}"] = _trace_metric(flood, mk)
+    _OPTIMUM_CACHE[key] = point
+    return point
 
 
 def fig4a(scale: ExperimentScale) -> FigureResult:
@@ -163,16 +307,14 @@ def fig4a(scale: ExperimentScale) -> FigureResult:
 
 def fig4b(scale: ExperimentScale) -> FigureResult:
     """Fig. 4(b): optimal ``p`` and achieved reachability vs ``rho``."""
-    grid = scale.analysis_p_grid
     opt_p, opt_reach, flood_reach = [], [], []
     for rho in scale.rho_grid:
-        sweep = analysis_sweep(scale, rho)["reach_at_latency"]
-        i = _optimum(sweep, "max")
-        opt_p.append(grid[i])
-        opt_reach.append(sweep[i])
-        flood_reach.append(sweep[-1])  # p = 1 is simple flooding in CAM
+        pt = _optimal_point(scale, rho, "reach_at_latency")
+        opt_p.append(pt["p"])
+        opt_reach.append(pt["reach_at_latency"])
+        flood_reach.append(pt["flooding_reach_at_latency"])  # p = 1 floods in CAM
     notes = {
-        "plateau_mean_reachability": float(np.mean(opt_reach)),
+        "plateau_mean_reachability": float(np.nanmean(opt_reach)),
         "flooding_over_optimal_at_max_rho": float(flood_reach[-1] / opt_reach[-1]),
         "paper_plateau": 0.72,
         "paper_flooding_over_optimal_at_rho140": 0.55,
@@ -206,14 +348,12 @@ def fig5a(scale: ExperimentScale) -> FigureResult:
 
 def fig5b(scale: ExperimentScale) -> FigureResult:
     """Fig. 5(b): optimal ``p`` minimizing latency for 72% reachability."""
-    grid = scale.analysis_p_grid
     opt_p, opt_latency, flood_latency = [], [], []
     for rho in scale.rho_grid:
-        sweep = analysis_sweep(scale, rho)["latency_at_reach"]
-        i = _optimum(sweep, "min")
-        opt_p.append(grid[i] if i is not None else np.nan)
-        opt_latency.append(sweep[i] if i is not None else np.nan)
-        flood_latency.append(sweep[-1])
+        pt = _optimal_point(scale, rho, "latency_at_reach")
+        opt_p.append(pt["p"])
+        opt_latency.append(pt["latency_at_reach"])
+        flood_latency.append(pt["flooding_latency_at_reach"])
     return FigureResult(
         figure="fig5b",
         title="Optimal probability for min latency at 72% reachability (analysis)",
@@ -246,15 +386,12 @@ def fig6a(scale: ExperimentScale) -> FigureResult:
 
 def fig6b(scale: ExperimentScale) -> FigureResult:
     """Fig. 6(b): optimal ``p`` minimizing broadcasts for 72% reachability."""
-    grid = scale.analysis_p_grid
     opt_p, opt_m, opt_latency = [], [], []
     for rho in scale.rho_grid:
-        data = analysis_sweep(scale, rho)
-        sweep = data["energy_at_reach"]
-        i = _optimum(sweep, "min")
-        opt_p.append(grid[i] if i is not None else np.nan)
-        opt_m.append(sweep[i] if i is not None else np.nan)
-        opt_latency.append(data["latency_at_reach"][i] if i is not None else np.nan)
+        pt = _optimal_point(scale, rho, "energy_at_reach")
+        opt_p.append(pt["p"])
+        opt_m.append(pt["energy_at_reach"])
+        opt_latency.append(pt["latency_at_reach"])
     return FigureResult(
         figure="fig6b",
         title="Optimal probability for min broadcasts at 72% reachability (analysis)",
@@ -294,14 +431,12 @@ def fig7a(scale: ExperimentScale) -> FigureResult:
 
 def fig7b(scale: ExperimentScale) -> FigureResult:
     """Fig. 7(b): optimal ``p`` maximizing reachability within 35 broadcasts."""
-    grid = scale.analysis_p_grid
     opt_p, opt_reach, flood_reach = [], [], []
     for rho in scale.rho_grid:
-        sweep = analysis_sweep(scale, rho)["reach_at_energy"]
-        i = _optimum(sweep, "max")
-        opt_p.append(grid[i])
-        opt_reach.append(sweep[i])
-        flood_reach.append(sweep[-1])
+        pt = _optimal_point(scale, rho, "reach_at_energy")
+        opt_p.append(pt["p"])
+        opt_reach.append(pt["reach_at_energy"])
+        flood_reach.append(pt["flooding_reach_at_energy"])
     return FigureResult(
         figure="fig7b",
         title="Optimal probability for max reachability within 35 broadcasts (analysis)",
@@ -314,9 +449,9 @@ def fig7b(scale: ExperimentScale) -> FigureResult:
         },
         notes={
             "max_optimal_p": float(np.nanmax(opt_p)),
-            "mean_optimal_reachability": float(np.mean(opt_reach)),
+            "mean_optimal_reachability": float(np.nanmean(opt_reach)),
             "paper_claim": "optimal p close to fig6b; reach ~0.70; flooding < 0.20",
-            "max_flooding_reachability": float(np.max(flood_reach)),
+            "max_flooding_reachability": float(np.nanmax(flood_reach)),
         },
     )
 
@@ -488,12 +623,9 @@ def fig12(scale: ExperimentScale) -> FigureResult:
     densities, suggesting the optimal probability can be set from the
     locally observable success rate without knowing the density.
     """
-    grid = scale.analysis_p_grid
     opt_p, rate, ratio = [], [], []
     for rho in scale.rho_grid:
-        sweep = analysis_sweep(scale, rho)["reach_at_latency"]
-        i = _optimum(sweep, "max")
-        p_star = float(grid[i])
+        p_star = _optimal_point(scale, rho, "reach_at_latency")["p"]
         sr = flooding_success_rate(scale.analysis_config(rho))
         opt_p.append(p_star)
         rate.append(sr.rate)
@@ -509,8 +641,8 @@ def fig12(scale: ExperimentScale) -> FigureResult:
             "ratio": np.array(ratio),
         },
         notes={
-            "ratio_mean": float(np.mean(ratio)),
-            "ratio_spread": float(np.max(ratio) - np.min(ratio)),
+            "ratio_mean": float(np.nanmean(ratio)),
+            "ratio_spread": float(np.nanmax(ratio) - np.nanmin(ratio)),
             "paper_ratio": PaperParams.FIG12_RATIO,
             "receivers_convention": "uninformed (see EXPERIMENTS.md)",
         },

@@ -74,6 +74,10 @@ class ExperimentScale:
         recomputed ones.
     resume:
         With ``store``: resume an interrupted sweep from its journal.
+    block_size:
+        Replications per dispatched simulation block (``None`` = the
+        engine heuristic).  Like ``progress`` and ``store``, not part of
+        the figure-cache key: results are bit-identical at any blocking.
     """
 
     name: str
@@ -86,6 +90,7 @@ class ExperimentScale:
     progress: bool = False
     store: str | None = None
     resume: bool = False
+    block_size: int | None = None
 
     @classmethod
     def full(
@@ -95,6 +100,7 @@ class ExperimentScale:
         progress: bool = False,
         store: str | None = None,
         resume: bool = False,
+        block_size: int | None = None,
     ) -> "ExperimentScale":
         """The paper's exact grids (minutes of wall time for sim figures)."""
         return cls(
@@ -107,6 +113,7 @@ class ExperimentScale:
             progress=progress,
             store=store,
             resume=resume,
+            block_size=block_size,
         )
 
     @classmethod
@@ -117,6 +124,7 @@ class ExperimentScale:
         progress: bool = False,
         store: str | None = None,
         resume: bool = False,
+        block_size: int | None = None,
     ) -> "ExperimentScale":
         """Coarse grids for CI: same qualitative shapes, ~100x cheaper."""
         return cls(
@@ -129,6 +137,7 @@ class ExperimentScale:
             progress=progress,
             store=store,
             resume=resume,
+            block_size=block_size,
         )
 
     # ------------------------------------------------------------------

@@ -22,6 +22,7 @@ from repro.obs.events import (
     NodeInformed,
     PhaseComplete,
     RunComplete,
+    SearchStep,
     SlotResolved,
     StoreAccess,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "RunComplete",
     "ChannelDelivery",
     "StoreAccess",
+    "SearchStep",
     "capture",
     "get_tracer",
     "RingBufferSink",

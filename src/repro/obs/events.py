@@ -27,6 +27,10 @@ agree on field names and semantics without schema negotiation:
     One result-store operation by the crash-safe scheduler
     (:mod:`repro.store.scheduler`): a cache hit/miss, a put of freshly
     computed results, or a corrupt entry dropped for recomputation.
+``SearchStep``
+    One probe of the :mod:`repro.optimize` frontier search: a surrogate
+    evaluation of a ladder rung, or a Monte-Carlo verification of a
+    shortlisted candidate.
 
 Events are plain frozen dataclasses; :func:`event_to_dict` /
 :func:`event_from_dict` define the JSONL wire form used by
@@ -44,6 +48,7 @@ __all__ = [
     "RunComplete",
     "ChannelDelivery",
     "StoreAccess",
+    "SearchStep",
     "TraceEvent",
     "EVENT_TYPES",
     "event_to_dict",
@@ -144,6 +149,32 @@ class StoreAccess:
     nbytes: int
 
 
+@dataclass(frozen=True)
+class SearchStep:
+    """One probe of the frontier search (:mod:`repro.optimize`).
+
+    Attributes
+    ----------
+    stage:
+        ``"probe"`` (surrogate evaluation) or ``"verify"``
+        (Monte-Carlo candidate verification).
+    rung:
+        Ladder rung index probed.
+    p:
+        The broadcast probability at that rung.
+    feasible:
+        Whether the query's bounds held at this point.
+    value:
+        The primary-objective value (NaN while infeasible).
+    """
+
+    stage: str
+    rung: int
+    p: float
+    feasible: bool
+    value: float
+
+
 #: Union of every event the observability layer can emit; sinks and the
 #: wire-format helpers below are typed against it.
 TraceEvent = (
@@ -153,6 +184,7 @@ TraceEvent = (
     | RunComplete
     | ChannelDelivery
     | StoreAccess
+    | SearchStep
 )
 
 EVENT_TYPES: dict[str, type[TraceEvent]] = {
@@ -164,6 +196,7 @@ EVENT_TYPES: dict[str, type[TraceEvent]] = {
         RunComplete,
         ChannelDelivery,
         StoreAccess,
+        SearchStep,
     )
 }
 

@@ -1,0 +1,6 @@
+"""``python -m repro.optimize`` — the ``repro-optimize`` CLI."""
+
+from repro.optimize.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

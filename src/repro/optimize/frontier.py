@@ -1,0 +1,82 @@
+"""Pareto-frontier maintenance with dominance pruning.
+
+A :class:`FrontierSet` holds the mutually non-dominated *feasible*
+evaluations seen so far, under the query's objective senses.  Offering
+a dominated point is a no-op; offering a dominating point evicts
+everything it dominates.  Exact objective ties keep only the lowest
+``p`` (the figures' dense-grid convention), so a frontier is a
+deterministic function of the set of evaluations offered, independent
+of order — pinned by tests.
+
+For a single-objective query the frontier is simply the best feasible
+point; multi-objective queries get the menu the quantifind pattern
+(SNIPPETS Snippet 3) maintains: every trade-off a deployment planner
+could rationally pick.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.optimize.spec import Evaluation, OptimizeQuery, objective_key
+
+__all__ = ["FrontierSet", "dominates"]
+
+
+def dominates(a: Evaluation, b: Evaluation, query: OptimizeQuery) -> bool:
+    """True when ``a`` is at least as good as ``b`` on every objective
+    and strictly better on at least one (sense-aware)."""
+    ka, kb = objective_key(a, query), objective_key(b, query)
+    return all(x <= y for x, y in zip(ka, kb, strict=True)) and ka != kb
+
+
+class FrontierSet:
+    """The mutually non-dominated feasible evaluations seen so far."""
+
+    def __init__(self, query: OptimizeQuery) -> None:
+        self.query = query
+        self._points: list[Evaluation] = []
+
+    def consider(self, ev: Evaluation) -> bool:
+        """Offer one evaluation; returns True if it joined the frontier.
+
+        Infeasible evaluations never join.  An exact objective tie with
+        a resident point keeps whichever has the lower ``p``.
+        """
+        if not ev.feasible:
+            return False
+        key = objective_key(ev, self.query)
+        for q in self._points:
+            kq = objective_key(q, self.query)
+            if all(x <= y for x, y in zip(kq, key, strict=True)):
+                # q dominates ev, or ties it; on a tie the lower p stays.
+                if kq != key or q.p <= ev.p:
+                    return False
+        self._points = [
+            q
+            for q in self._points
+            if not dominates(ev, q, self.query)
+            and not (objective_key(q, self.query) == key and ev.p < q.p)
+        ]
+        self._points.append(ev)
+        self._points.sort(key=lambda e: e.p)
+        return True
+
+    def extend(self, evaluations: Iterator[Evaluation] | list[Evaluation]) -> None:
+        """Offer a batch of evaluations."""
+        for ev in evaluations:
+            self.consider(ev)
+
+    @property
+    def points(self) -> tuple[Evaluation, ...]:
+        """Frontier members, ordered by increasing ``p``."""
+        return tuple(self._points)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[Evaluation]:
+        return iter(self._points)
+
+    def __contains__(self, ev: object) -> bool:
+        return any(q == ev for q in self._points)

@@ -232,3 +232,133 @@ class TestCli:
 
         loaded = load_figures(target)
         assert "fig4b" in loaded
+
+
+class TestOptimum:
+    """The hardened dense-grid argmax/argmin helper."""
+
+    def test_max_and_min(self):
+        from repro.experiments.figures import _optimum
+
+        assert _optimum(np.array([0.1, 0.9, 0.5]), "max") == 1
+        assert _optimum(np.array([0.1, 0.9, 0.5]), "min") == 0
+
+    def test_nan_entries_never_win(self):
+        from repro.experiments.figures import _optimum
+
+        assert _optimum(np.array([np.nan, 2.0, 1.0]), "min") == 2
+        assert _optimum(np.array([np.nan, 2.0, 1.0]), "max") == 1
+
+    def test_inf_entries_never_win(self):
+        from repro.experiments.figures import _optimum
+
+        assert _optimum(np.array([np.inf, 2.0]), "max") == 1
+        assert _optimum(np.array([-np.inf, 2.0]), "min") == 1
+
+    def test_ties_resolve_to_lowest_index(self):
+        from repro.experiments.figures import _optimum
+
+        assert _optimum(np.array([1.0, 1.0, 1.0]), "min") == 0
+        assert _optimum(np.array([np.nan, 3.0, 3.0]), "max") == 1
+
+    def test_all_nan_is_none(self):
+        from repro.experiments.figures import _optimum
+
+        assert _optimum(np.array([np.nan, np.nan]), "min") is None
+        assert _optimum(np.array([np.nan, np.nan]), "max") is None
+
+
+class TestOptimalPointParity:
+    """Search path == dense-cache path for the optimal-p panels.
+
+    The b-panels read the cached dense sweep when an a-panel already
+    paid for it, and run the adaptive frontier search otherwise; both
+    must produce bit-identical figures.
+    """
+
+    @pytest.mark.parametrize(
+        "a_panel,b_panel",
+        [("fig4a", "fig4b"), ("fig5a", "fig5b"), ("fig6a", "fig6b"), ("fig7a", "fig7b")],
+    )
+    def test_panels(self, tiny_scale, a_panel, b_panel):
+        clear_caches()
+        via_search = generate_figure(b_panel, tiny_scale)
+
+        clear_caches()
+        generate_figure(a_panel, tiny_scale)  # populates the dense cache
+        via_dense = generate_figure(b_panel, tiny_scale)
+
+        assert via_search.series.keys() == via_dense.series.keys()
+        for name in via_search.series:
+            np.testing.assert_array_equal(
+                np.asarray(via_search.series[name], dtype=float),
+                np.asarray(via_dense.series[name], dtype=float),
+            )
+        clear_caches()
+
+    def test_fig12_ratio_parity(self, tiny_scale):
+        clear_caches()
+        via_search = generate_figure("fig12", tiny_scale)
+
+        clear_caches()
+        generate_figure("fig6a", tiny_scale)
+        via_dense = generate_figure("fig12", tiny_scale)
+
+        for name in via_search.series:
+            np.testing.assert_array_equal(
+                np.asarray(via_search.series[name], dtype=float),
+                np.asarray(via_dense.series[name], dtype=float),
+            )
+        clear_caches()
+
+
+class TestBlockSize:
+    def test_scale_factories_accept_block_size(self):
+        assert ExperimentScale.quick(block_size=8).block_size == 8
+        assert ExperimentScale.full(block_size=16).block_size == 16
+        assert ExperimentScale.quick().block_size is None
+
+    def test_simulation_grid_threads_block_size(self, monkeypatch):
+        from repro.experiments import figures as figures_mod
+
+        captured = {}
+
+        def fake_sweep_grid(config, rhos, ps, replications, **kwargs):
+            captured.update(kwargs)
+            return {
+                (float(r), float(p)): [] for r in rhos for p in ps
+            }
+
+        monkeypatch.setattr(figures_mod, "sweep_grid", fake_sweep_grid)
+        scale = ExperimentScale(
+            name="tiny-bs",
+            rho_grid=(20,),
+            analysis_p_step=0.5,
+            sim_p_step=0.5,
+            replications=1,
+            seed=3,
+            workers=1,
+            block_size=4,
+        )
+        simulation_grid(scale, 20)
+        assert captured["block_size"] == 4
+        clear_caches()
+
+    def test_runall_block_size_flag(self, monkeypatch, capsys):
+        import repro.experiments.runall as runall_mod
+
+        seen = {}
+
+        class _Fake:
+            figure = "fig4a"
+
+            def to_text(self):
+                return "fake"
+
+        def fake_generate(name, scale):
+            seen["block_size"] = scale.block_size
+            return _Fake()
+
+        monkeypatch.setattr(runall_mod, "generate_figure", fake_generate)
+        assert runall_mod.main(["--figures", "fig4a", "--block-size", "8"]) == 0
+        assert seen["block_size"] == 8

@@ -398,6 +398,20 @@ class TestApiSeedKwarg:
         """
         assert len(findings(src, "src/repro/sim/runner.py", self.RULE)) == 1
 
+    def test_optimize_prefix_missing_seed_triggers(self):
+        src = """
+            def optimize_probability(config):
+                return config
+        """
+        assert len(findings(src, "src/repro/optimize/api.py", self.RULE)) == 1
+
+    def test_search_prefix_literal_default_triggers(self):
+        src = """
+            def search_frontier(evaluate, ladder, seed=42):
+                return ladder
+        """
+        assert len(findings(src, "src/repro/optimize/search.py", self.RULE)) == 1
+
     def test_seed_param_ok(self):
         src = """
             def run_study(config, seed):

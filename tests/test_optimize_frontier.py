@@ -1,0 +1,106 @@
+"""Pareto-frontier maintenance: dominance, eviction, ties, order independence."""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.optimize import Evaluation, FrontierSet, OptimizeQuery, dominates
+
+QUERY = OptimizeQuery(objectives=("latency", "energy"))
+
+
+def _ev(p, lat, en, *, feasible=True):
+    return Evaluation(
+        p=p,
+        reachability=0.9,
+        latency=lat,
+        energy=en,
+        feasible=feasible,
+        violation=0.0 if feasible else 0.1,
+    )
+
+
+class TestDominates:
+    def test_strictly_better_on_all(self):
+        assert dominates(_ev(0.2, 1.0, 5.0), _ev(0.3, 2.0, 9.0), QUERY)
+
+    def test_better_on_one_equal_on_other(self):
+        assert dominates(_ev(0.2, 1.0, 5.0), _ev(0.3, 1.0, 9.0), QUERY)
+
+    def test_exact_tie_does_not_dominate(self):
+        assert not dominates(_ev(0.2, 1.0, 5.0), _ev(0.3, 1.0, 5.0), QUERY)
+
+    def test_trade_off_neither_dominates(self):
+        a, b = _ev(0.2, 1.0, 9.0), _ev(0.3, 2.0, 5.0)
+        assert not dominates(a, b, QUERY)
+        assert not dominates(b, a, QUERY)
+
+    def test_sense_aware_for_maximized_metric(self):
+        query = OptimizeQuery(objectives=("reachability",))
+        hi = Evaluation(p=0.4, reachability=0.9, latency=1, energy=1, feasible=True)
+        lo = Evaluation(p=0.2, reachability=0.5, latency=1, energy=1, feasible=True)
+        assert dominates(hi, lo, query)
+        assert not dominates(lo, hi, query)
+
+
+class TestFrontierSet:
+    def test_non_dominated_points_coexist(self):
+        front = FrontierSet(QUERY)
+        assert front.consider(_ev(0.2, 1.0, 9.0))
+        assert front.consider(_ev(0.5, 3.0, 4.0))
+        assert len(front) == 2
+        assert [e.p for e in front.points] == [0.2, 0.5]
+
+    def test_dominated_offer_is_rejected(self):
+        front = FrontierSet(QUERY)
+        strong = _ev(0.2, 1.0, 5.0)
+        front.consider(strong)
+        assert not front.consider(_ev(0.3, 2.0, 9.0))
+        assert front.points == (strong,)
+
+    def test_dominating_offer_evicts(self):
+        front = FrontierSet(QUERY)
+        front.extend([_ev(0.3, 2.0, 9.0), _ev(0.6, 3.0, 8.0)])
+        assert front.consider(_ev(0.2, 1.0, 5.0))
+        assert [e.p for e in front.points] == [0.2]
+
+    def test_infeasible_never_joins(self):
+        front = FrontierSet(QUERY)
+        assert not front.consider(_ev(0.2, 1.0, 5.0, feasible=False))
+        assert len(front) == 0
+
+    def test_exact_tie_keeps_lowest_p(self):
+        front = FrontierSet(QUERY)
+        front.consider(_ev(0.5, 1.0, 5.0))
+        assert not front.consider(_ev(0.7, 1.0, 5.0))
+        assert [e.p for e in front.points] == [0.5]
+        # The lower-p twin replaces the resident.
+        assert front.consider(_ev(0.3, 1.0, 5.0))
+        assert [e.p for e in front.points] == [0.3]
+
+    def test_membership_and_iteration(self):
+        front = FrontierSet(QUERY)
+        a = _ev(0.2, 1.0, 9.0)
+        front.consider(a)
+        assert a in front
+        assert _ev(0.9, 9.0, 9.0) not in front
+        assert list(front) == [a]
+
+    def test_order_independent(self):
+        pool = [
+            _ev(0.1, 5.0, 5.0),
+            _ev(0.2, 1.0, 9.0),
+            _ev(0.3, 2.0, 5.0),
+            _ev(0.4, 1.0, 9.0),  # objective tie with p=0.2
+            _ev(0.5, 0.5, 20.0),
+        ]
+        reference = None
+        for perm in itertools.permutations(pool):
+            front = FrontierSet(QUERY)
+            front.extend(list(perm))
+            got = front.points
+            if reference is None:
+                reference = got
+            assert got == reference
+        assert reference is not None
+        assert [e.p for e in reference] == [0.2, 0.3, 0.5]
