@@ -10,6 +10,7 @@ record a trace (ring buffer, JSONL file) or collect metrics.
 
 from repro.analysis.config import AnalysisConfig
 from repro.obs import metrics as obs_metrics
+from repro.obs import spans as obs_spans
 from repro.obs import trace as obs_trace
 from repro.protocols.pbcast import ProbabilisticRelay, SimpleFlooding
 from repro.sim.config import SimulationConfig
@@ -75,6 +76,27 @@ def test_tracing_jsonl_sink_pb_rho60(benchmark, tmp_path):
             return _run_mid()
 
     res = benchmark.pedantic(run, rounds=5, iterations=1)
+    assert res.reachability > 0.5
+
+
+def test_spans_disabled_pb_rho60(benchmark):
+    """Span hooks compiled in but no sink attached: must match the
+    tracing-disabled baseline (the A of the A/B neutrality pair)."""
+    assert not obs_spans.profiler().enabled
+    res = benchmark(_run_mid)
+    assert res.reachability > 0.5
+
+
+def test_spans_enabled_pb_rho60(benchmark):
+    """The B of the pair: spans recorded into an in-memory buffer."""
+
+    def run():
+        with obs_spans.capture_spans() as buf:
+            out = _run_mid()
+        assert len(buf) > 0
+        return out
+
+    res = benchmark(run)
     assert res.reachability > 0.5
 
 

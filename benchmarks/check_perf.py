@@ -19,6 +19,11 @@ dropping a benchmark is how regressions hide.
 
 Tolerance: ``--tolerance`` or the ``REPRO_PERF_TOLERANCE`` environment
 variable (default 0.25 = current may exceed baseline by 25%).
+
+History: ``--append-history`` additionally appends one JSONL record —
+``{"unix": ..., "sha": ..., "medians": {...current...}}`` — to
+``BENCH_history.jsonl`` (or ``--history-path``), building the perf
+trajectory that ``repro-report --history`` renders as sparklines.
 """
 
 from __future__ import annotations
@@ -26,10 +31,13 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import subprocess
 import sys
+import time
 from pathlib import Path
 
 DEFAULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+DEFAULT_HISTORY = Path(__file__).resolve().parent.parent / "BENCH_history.jsonl"
 ALIAS_PREFIX = "baseline:"
 
 
@@ -73,6 +81,33 @@ def check(data: dict, tolerance: float) -> list[str]:
     return failures
 
 
+def git_sha() -> str | None:
+    """HEAD commit of the working tree, or None outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return out.stdout.strip() if out.returncode == 0 else None
+
+
+def append_history(data: dict, path: Path) -> dict:
+    """Append this run's medians (+ SHA, timestamp) to the history file."""
+    entry = {
+        "unix": time.time(),
+        "sha": git_sha(),
+        "medians": dict(data.get("current", {})),
+    }
+    with path.open("a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -84,6 +119,16 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="allowed relative regression (default: REPRO_PERF_TOLERANCE or 0.25)",
     )
+    parser.add_argument(
+        "--append-history",
+        action="store_true",
+        help="append this run's medians (+ git SHA, timestamp) to the history",
+    )
+    parser.add_argument(
+        "--history-path",
+        default=str(DEFAULT_HISTORY),
+        help="BENCH_history.jsonl location (with --append-history)",
+    )
     args = parser.parse_args(argv)
     tolerance = args.tolerance
     if tolerance is None:
@@ -94,6 +139,14 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {path} not found (run benchmarks with --perf-json first)")
         return 1
     data = json.loads(path.read_text())
+
+    if args.append_history:
+        entry = append_history(data, Path(args.history_path))
+        sha = entry["sha"] or "no-git"
+        print(
+            f"history: appended {len(entry['medians'])} medians "
+            f"({str(sha)[:12]}) to {args.history_path}"
+        )
 
     failures = check(data, tolerance)
     tracked = len(data.get("seed", {}))

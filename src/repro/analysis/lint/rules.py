@@ -331,7 +331,13 @@ class ObsNeutrality(Rule):
     * tracer emission must use the hoisted guard from PR 2 —
       ``emit = tracer.emit if tracer.enabled else None`` once per run,
       ``if emit is not None: emit(...)`` per slot — so a disabled
-      tracer costs one attribute read, not a method call per event.
+      tracer costs one attribute read, not a method call per event;
+    * span profiling (PR 8) follows the same discipline — ``begin =
+      prof.begin if prof.enabled else None`` once per call, spans opened
+      via ``begin(...) if begin is not None else None`` — so a direct
+      ``prof.begin(...)``/``prof.end(...)`` attribute call outside
+      :mod:`repro.obs` is a finding: it would allocate a span handle
+      even when profiling is disabled.
 
     A field literally named ``trace`` is only flagged when its
     annotation is telemetry-typed: ``RunResult.trace`` is a
@@ -342,8 +348,10 @@ class ObsNeutrality(Rule):
     id = "obs-neutrality"
     summary = (
         "telemetry fields on *Result dataclasses need compare=False; "
-        "tracer.emit goes through the hoisted enabled-guard"
+        "tracer.emit and profiler.begin/end go through hoisted enabled-guards"
     )
+
+    _SPAN_METHODS: ClassVar[set[str]] = {"begin", "end"}
 
     def applies(self, path: str) -> bool:
         return _in_src_repro(path)
@@ -352,6 +360,7 @@ class ObsNeutrality(Rule):
         yield from self._check_result_fields(ctx)
         if not ctx.path.startswith("src/repro/obs/"):
             yield from self._check_emit_sites(ctx)
+            yield from self._check_span_sites(ctx)
 
     def _check_result_fields(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
@@ -398,6 +407,23 @@ class ObsNeutrality(Rule):
                 "emit(...) behind `if emit is not None`",
             )
 
+    def _check_span_sites(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._SPAN_METHODS
+                and self._is_profiler_expr(node.func.value)
+            ):
+                continue
+            yield ctx.finding(
+                self.id,
+                node,
+                f"direct profiler.{node.func.attr}() call; hoist the guard once "
+                "(begin = prof.begin if prof.enabled else None) and open spans "
+                "via `begin(...) if begin is not None else None`",
+            )
+
     @staticmethod
     def _is_dataclass_deco(deco: ast.expr) -> bool:
         target = deco.func if isinstance(deco, ast.Call) else deco
@@ -422,6 +448,17 @@ class ObsNeutrality(Rule):
             return "tracer" in expr.attr.lower()
         if isinstance(expr, ast.Call):
             return _call_name(expr.func).endswith("get_tracer")
+        return False
+
+    @staticmethod
+    def _is_profiler_expr(expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Name):
+            return "prof" in expr.id.lower()
+        if isinstance(expr, ast.Attribute):
+            return "prof" in expr.attr.lower()
+        if isinstance(expr, ast.Call):
+            name = _call_name(expr.func)
+            return name.endswith(("profiler", "get_profiler"))
         return False
 
 

@@ -12,11 +12,18 @@ pieces (see DESIGN.md, "Observability"):
   helpers to reconstruct the run from a loaded manifest.
 * :mod:`repro.obs.progress` — stderr progress/ETA reporting for sweeps
   and the figure battery.
+* :mod:`repro.obs.spans` — hierarchical wall-time spans attributing a
+  whole pipeline invocation (runner → store → engine → optimize); zero
+  overhead when no sink is attached.
+* :mod:`repro.obs.export` — span persistence: JSONL and Chrome
+  trace-event JSON (``chrome://tracing``/Perfetto).
+* :mod:`repro.obs.report` — the ``repro-report`` CLI fusing manifest,
+  span trace, event trace, and perf ledger into one run report.
 
 ``python -m repro.obs.summarize`` renders traces and manifests.
 """
 
-from repro.obs import metrics, progress, provenance, trace
+from repro.obs import export, metrics, progress, provenance, report, spans, trace
 from repro.obs.events import (
     ChannelDelivery,
     NodeInformed,
@@ -33,6 +40,7 @@ from repro.obs.provenance import (
     seed_from_manifest,
     write_manifest,
 )
+from repro.obs.spans import SpanBuffer, capture_spans, profiler
 from repro.obs.trace import JsonlSink, NullSink, RingBufferSink, capture, get_tracer
 
 __all__ = [
@@ -40,6 +48,12 @@ __all__ = [
     "metrics",
     "provenance",
     "progress",
+    "spans",
+    "export",
+    "report",
+    "SpanBuffer",
+    "capture_spans",
+    "profiler",
     "SlotResolved",
     "NodeInformed",
     "PhaseComplete",

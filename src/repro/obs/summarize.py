@@ -25,7 +25,9 @@ from repro.obs.events import (
     NodeInformed,
     PhaseComplete,
     RunComplete,
+    SearchStep,
     SlotResolved,
+    StoreAccess,
 )
 from repro.obs.provenance import MANIFEST_SCHEMA, load_manifest
 from repro.obs.trace import read_jsonl
@@ -41,10 +43,18 @@ def summarize_trace(path: str | Path) -> dict:
     and ``n_informed`` recomputed from slot-level events, plus
     ``reachability`` / ``run`` from the :class:`RunComplete` record
     (``None`` when the trace was truncated before run end).
+
+    Store and optimizer telemetry aggregate too: ``store_ops`` maps each
+    :class:`StoreAccess` op (hit/miss/put/corrupt) to its count,
+    ``store_put_bytes`` totals persisted bytes, and ``search_steps``
+    collects the :class:`SearchStep` ladder walk in emission order.
     """
     slots: list[SlotResolved] = []
     phases: list[PhaseComplete] = []
     informed: list[NodeInformed] = []
+    store_ops: dict[str, int] = {}
+    store_put_bytes = 0
+    search_steps: list[SearchStep] = []
     run: RunComplete | None = None
     n_events = 0
     for event in read_jsonl(path):
@@ -55,6 +65,12 @@ def summarize_trace(path: str | Path) -> dict:
             phases.append(event)
         elif isinstance(event, NodeInformed):
             informed.append(event)
+        elif isinstance(event, StoreAccess):
+            store_ops[event.op] = store_ops.get(event.op, 0) + 1
+            if event.op == "put":
+                store_put_bytes += event.nbytes
+        elif isinstance(event, SearchStep):
+            search_steps.append(event)
         elif isinstance(event, RunComplete):
             run = event
     collisions_total = sum(s.n_collisions for s in slots)
@@ -70,6 +86,9 @@ def summarize_trace(path: str | Path) -> dict:
         "collisions_total": collisions_total,
         "reachability": reachability,
         "run": run,
+        "store_ops": store_ops,
+        "store_put_bytes": store_put_bytes,
+        "search_steps": search_steps,
     }
 
 
@@ -99,6 +118,33 @@ def render_trace(path: str | Path, *, max_slots: int = 40) -> str:
             lines.append(
                 f"{ev.slot:5d} {ev.phase:5d} {ev.n_tx:4d} {ev.n_rx:4d} "
                 f"{ev.n_collisions:5d}"
+            )
+
+    if s["store_ops"]:
+        ops = s["store_ops"]
+        lines.append("")
+        total = sum(ops.values())
+        lines.append(f"store accesses ({total} events):")
+        for op in ("hit", "miss", "put", "corrupt"):
+            if op in ops:
+                extra = (
+                    f"  ({s['store_put_bytes']} bytes)"
+                    if op == "put" and s["store_put_bytes"]
+                    else ""
+                )
+                lines.append(f"  {op:8s} {ops[op]:6d}{extra}")
+        for op in sorted(set(ops) - {"hit", "miss", "put", "corrupt"}):
+            lines.append(f"  {op:8s} {ops[op]:6d}")
+
+    if s["search_steps"]:
+        steps = s["search_steps"]
+        lines.append("")
+        lines.append(f"search steps ({len(steps)}):")
+        lines.append(" stage   rung        p  feasible     value")
+        for st in steps:
+            lines.append(
+                f"{st.stage:>6s} {st.rung:6d} {st.p:8.4f} "
+                f"{'yes' if st.feasible else 'no':>9s} {st.value:9.4g}"
             )
 
     lines.append("")

@@ -25,6 +25,7 @@ from repro.analysis.optimizer import default_probability_grid
 from repro.errors import ConfigurationError
 from repro.obs import metrics as obs_metrics
 from repro.obs import provenance as obs_provenance
+from repro.obs import spans as obs_spans
 from repro.obs import trace as obs_trace
 from repro.obs.events import SearchStep
 from repro.optimize.frontier import FrontierSet
@@ -237,6 +238,9 @@ def optimize(
     reg = obs_metrics.registry()
     tracer = obs_trace.get_tracer()
     emit = tracer.emit if tracer.enabled else None
+    prof = obs_spans.profiler()
+    begin = prof.begin if prof.enabled else None
+    h_query = begin("optimize.query", "optimize") if begin is not None else None
     primary = query.objectives[0]
 
     def _evaluate(rungs: Sequence[int]) -> Sequence[Evaluation]:
@@ -254,6 +258,7 @@ def optimize(
                 )
         return evs
 
+    h_search = begin("optimize.search", "optimize") if begin is not None else None
     outcome: SearchOutcome = search_frontier(
         _evaluate,
         ladder,
@@ -263,6 +268,12 @@ def optimize(
         neighborhood=neighborhood,
         max_steps=max_steps,
     )
+    if h_search is not None:
+        h_search.end(
+            probes=model.probes,
+            restarts=outcome.restarts,
+            frontier=len(outcome.frontier),
+        )
     if reg.enabled:
         reg.counter("optimize.searches").inc()
         reg.counter("optimize.restarts").inc(outcome.restarts)
@@ -274,6 +285,7 @@ def optimize(
         candidates = select_candidates(
             outcome, query, tolerance=tolerance, max_verify=max_verify
         )
+        h_verify = begin("optimize.verify", "optimize") if begin is not None else None
         simulated = verify_candidates(
             sim_config,
             query,
@@ -290,6 +302,10 @@ def optimize(
             block_size=block_size,
             progress=progress,
         )
+        if h_verify is not None:
+            h_verify.end(
+                candidates=len(candidates), replications=replications
+            )
         if reg.enabled:
             reg.counter("optimize.sim_tasks").inc(len(candidates) * replications)
         if emit is not None:
@@ -373,5 +389,9 @@ def optimize(
             },
             metrics=obs_metrics.registry().snapshot() or None,
             started=started,
+        )
+    if h_query is not None:
+        h_query.end(
+            candidates=len(candidates), sim_tasks=result.sim_tasks
         )
     return result

@@ -24,6 +24,7 @@ from repro.analysis.metrics import QUIESCENCE_PHASES
 from repro.analysis.ring_model import RingModel
 from repro.analysis.trace import BroadcastTrace
 from repro.obs import metrics as obs_metrics
+from repro.obs import spans as obs_spans
 from repro.optimize.spec import Evaluation, OptimizeQuery, evaluate_trace
 from repro.sim.config import SimulationConfig
 
@@ -94,12 +95,17 @@ class SurrogateModel:
         cached = sum(1 for p in wanted if p in self._traces)
         missing = sorted({p for p in wanted if p not in self._traces})
         if missing:
+            prof = obs_spans.profiler()
+            begin = prof.begin if prof.enabled else None
+            h = begin("optimize.surrogate", "optimize") if begin is not None else None
             batch = self.model.run_batch(
                 np.asarray(missing, dtype=float), max_phases=self.max_phases
             )
             for p, trace in zip(missing, batch, strict=True):
                 self._traces[p] = trace
             self.probes += len(missing)
+            if h is not None:
+                h.end(probes=len(missing))
             reg = obs_metrics.registry()
             if reg.enabled:
                 reg.counter("optimize.surrogate_probes").inc(len(missing))

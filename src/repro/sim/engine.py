@@ -19,6 +19,7 @@ from typing import Sequence
 from repro.analysis.trace import BroadcastTrace
 from repro.errors import ProtocolError
 from repro.obs import metrics as obs_metrics
+from repro.obs import spans as obs_spans
 from repro.obs import trace as obs_trace
 from repro.obs.events import NodeInformed, PhaseComplete, RunComplete, SlotResolved
 from repro.models.cam import BatchCollisionAwareChannel, CollisionAwareChannel
@@ -77,8 +78,12 @@ def run_broadcast(
     tracer = obs_trace.get_tracer()
     emit = tracer.emit if tracer.enabled else None
     reg = obs_metrics.registry()
+    prof = obs_spans.profiler()
+    begin = prof.begin if prof.enabled else None
+    h_run = begin("engine.run", "engine") if begin is not None else None
     t_run0 = time.perf_counter() if reg.enabled else 0.0
 
+    h_deploy = begin("engine.deploy", "engine") if begin is not None else None
     if deployment is None:
         deployment = DiskDeployment.sample(
             rho=config.rho,
@@ -91,6 +96,8 @@ def run_broadcast(
         carrier_radius=config.analysis.carrier_radius if config.carrier_sense else None
     )
     channel = _build_channel(config, topology)
+    if h_deploy is not None:
+        h_deploy.end(nodes=topology.n_nodes)
     ctx = EngineContext(
         topology=topology, slots_per_phase=config.slots, radius=config.radius
     )
@@ -131,6 +138,7 @@ def run_broadcast(
     bcasts_by_phase: list[float] = []
     collisions = 0
 
+    h_loop = begin("engine.slot_loop", "engine") if begin is not None else None
     phase = 0
     while pending and phase < config.max_phases:
         phase += 1
@@ -245,6 +253,8 @@ def run_broadcast(
                 )
             )
 
+    if h_loop is not None:
+        h_loop.end(phases=phase, slots=len(new_by_slot), collisions=collisions)
     if not new_by_phase_ring:  # pragma: no cover - source always transmits
         new_by_phase_ring.append(np.zeros(n_rings))
         bcasts_by_phase.append(0.0)
@@ -277,6 +287,8 @@ def run_broadcast(
         reg.counter("engine.collisions").inc(int(collisions))
         reg.timer("engine.run").add(time.perf_counter() - t_run0)
         metrics_snapshot = reg.snapshot()
+    if h_run is not None:
+        h_run.end(slots=len(new_by_slot), collisions=collisions)
     return RunResult(
         trace=trace,
         new_informed_by_slot=new_by_slot_arr,
@@ -361,8 +373,12 @@ def run_broadcast_batch(
     rngs = [np.random.default_rng(s) for s in seed_seqs]
 
     reg = obs_metrics.registry()
+    prof = obs_spans.profiler()
+    begin = prof.begin if prof.enabled else None
+    h_run = begin("engine.run_batch", "engine") if begin is not None else None
     t_run0 = time.perf_counter() if reg.enabled else 0.0
 
+    h_deploy = begin("engine.deploy_batch", "engine") if begin is not None else None
     if deployments is None:
         batch = DeploymentBatch.sample(
             rho=config.rho,
@@ -377,6 +393,8 @@ def run_broadcast_batch(
         carrier_radius=config.analysis.carrier_radius if config.carrier_sense else None
     )
     channel = _build_batch_channel(config, stacked)
+    if h_deploy is not None:
+        h_deploy.end(reps=n_reps, nodes=batch.n_nodes_total)
     offs = batch.node_offsets
     slots = config.slots
 
@@ -427,6 +445,7 @@ def run_broadcast_batch(
     collisions = [0] * n_reps
     tx_local: list[np.ndarray] = [np.zeros(0, dtype=np.int64)] * n_reps
 
+    h_loop = begin("engine.slot_loop", "engine") if begin is not None else None
     phase = 0
     while any(pending) and phase < config.max_phases:
         phase += 1
@@ -550,6 +569,12 @@ def run_broadcast_batch(
             new_by_phase_ring[r].append(phase_new_rings[r])
             bcasts_by_phase[r].append(float(phase_bcasts[r]))
 
+    if h_loop is not None:
+        h_loop.end(
+            phases=phase,
+            slots=sum(len(s) for s in new_by_slot),
+            collisions=sum(collisions),
+        )
     metrics_snapshot = None
     if reg.enabled:
         reg.counter("engine.runs").inc(n_reps)
@@ -588,4 +613,6 @@ def run_broadcast_batch(
                 metrics=metrics_snapshot,
             )
         )
+    if h_run is not None:
+        h_run.end(reps=n_reps)
     return results

@@ -31,6 +31,7 @@ from repro.network.deployment import DiskDeployment
 from repro.obs import metrics as obs_metrics
 from repro.obs import progress as obs_progress
 from repro.obs import provenance as obs_provenance
+from repro.obs import spans as obs_spans
 from repro.obs import trace as obs_trace
 from repro.protocols.base import RelayPolicy
 from repro.protocols.pbcast import ProbabilisticRelay
@@ -63,6 +64,9 @@ def _execute(task: tuple) -> RunResult:
     """Worker entry point (top-level so it pickles)."""
     policy, config, child_seed, engine, alignment, deployment = task
     reg = obs_metrics.registry()
+    prof = obs_spans.profiler()
+    begin = prof.begin if prof.enabled else None
+    h = begin("runner.task", "runner") if begin is not None else None
     t0 = time.perf_counter() if reg.enabled else 0.0
     if engine == "vector":
         from repro.sim.engine import run_broadcast
@@ -76,6 +80,8 @@ def _execute(task: tuple) -> RunResult:
         ).run()
     if reg.enabled:
         reg.timer("runner.task").add(time.perf_counter() - t0)
+    if h is not None:
+        h.end()
     return result
 
 
@@ -94,10 +100,15 @@ def _execute_block(tasks: Sequence[tuple]) -> list[RunResult]:
     deployments = [t[5] for t in tasks]
     deps = deployments if deployments[0] is not None else None
     reg = obs_metrics.registry()
+    prof = obs_spans.profiler()
+    begin = prof.begin if prof.enabled else None
+    h = begin("runner.block", "runner") if begin is not None else None
     t0 = time.perf_counter() if reg.enabled else 0.0
     results = run_broadcast_batch(policy, config, seeds, deployments=deps)
     if reg.enabled:
         reg.timer("runner.block").add(time.perf_counter() - t0)
+    if h is not None:
+        h.end(reps=len(tasks))
     return results
 
 
@@ -282,6 +293,9 @@ def replicate(
     """
     check_positive_int("replications", replications)
     check_in("engine", engine, ("vector", "des"))
+    prof = obs_spans.profiler()
+    begin = prof.begin if prof.enabled else None
+    h = begin("runner.replicate", "runner") if begin is not None else None
     root = as_seed_sequence(seed)
     started = obs_provenance.start_clock() if manifest_dir is not None else None
     children = root.spawn(replications)
@@ -291,9 +305,12 @@ def replicate(
     if disk_store is not None:
         from repro.store.keys import task_key
 
+        h_keys = begin("store.keys", "store") if begin is not None else None
         task_keys = [
             task_key(policy, config, child, engine, alignment) for child in children
         ]
+        if h_keys is not None:
+            h_keys.end(keys=len(task_keys))
     resolved_block = _resolve_block_size(block_size, engine)
     block_of = (
         _block_assignment([0] * len(tasks), resolved_block)
@@ -320,6 +337,8 @@ def replicate(
             metrics=obs_metrics.registry().snapshot() or None,
             started=started,
         )
+    if h is not None:
+        h.end(replications=replications)
     return results
 
 
@@ -463,6 +482,9 @@ def sweep_grid(
     if reuse_deployments and point_seed is not None:
         raise ConfigurationError("point_seed is incompatible with reuse_deployments")
     started = obs_provenance.start_clock() if manifest_dir is not None else None
+    prof = obs_spans.profiler()
+    begin = prof.begin if prof.enabled else None
+    h = begin("sweep.grid", "runner") if begin is not None else None
 
     def _config_at(rho: float) -> SimulationConfig:
         return config(rho) if callable(config) else config.with_rho(rho)
@@ -471,6 +493,7 @@ def sweep_grid(
     policies = [policy_factory(p) for p in ps]
     root = as_seed_sequence(seed)
     disk_store = _open_store(store)
+    h_build = begin("sweep.build", "runner") if begin is not None else None
     tasks = []
     # Grid-point index per task: replication blocks may only form
     # within one (rho, p) point, where policy and config are shared.
@@ -510,17 +533,22 @@ def sweep_grid(
                 for child in point_root.spawn(replications):
                     tasks.append((policy, cfg, child, engine, alignment, None))
                     groups.append(ri * len(ps) + pi)
+    if h_build is not None:
+        h_build.end(tasks=len(tasks))
 
     task_keys: list[str] | None = None
     if disk_store is not None:
         from repro.store.keys import task_key
 
+        h_keys = begin("store.keys", "store") if begin is not None else None
         task_keys = [
             task_key(
                 t[0], t[1], t[2], engine, alignment, reuse_deployment=t[5] is not None
             )
             for t in tasks
         ]
+        if h_keys is not None:
+            h_keys.end(keys=len(task_keys))
 
     resolved_block = _resolve_block_size(block_size, engine)
     block_of = (
@@ -556,4 +584,6 @@ def sweep_grid(
             metrics=obs_metrics.registry().snapshot() or None,
             started=started,
         )
+    if h is not None:
+        h.end(tasks=len(tasks), points=len(rhos) * len(ps))
     return grid

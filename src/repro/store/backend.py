@@ -41,6 +41,7 @@ import numpy as np
 from repro.analysis.config import AnalysisConfig
 from repro.analysis.trace import BroadcastTrace
 from repro.errors import StoreCorruptionError, StoreError
+from repro.obs import spans as obs_spans
 from repro.sim.results import RunResult
 from repro.store.keys import RESULT_SCHEMA_VERSION, canonical_json
 
@@ -208,6 +209,9 @@ class DiskStore:
         Idempotent: re-putting an existing key rewrites identical
         content (the entry is a pure function of the key).
         """
+        prof = obs_spans.profiler()
+        begin = prof.begin if prof.enabled else None
+        h = begin("store.put", "store") if begin is not None else None
         payload = {"results": [pack_result(r) for r in results]}
         payload_text = canonical_json(payload)
         doc = {
@@ -222,6 +226,8 @@ class DiskStore:
         text = json.dumps(doc, sort_keys=True) + "\n"
         _atomic_write_text(path, text)
         self._index_update(key, len(text))
+        if h is not None:
+            h.end(nbytes=len(text), results=len(results))
         return len(text)
 
     def get(self, key: str, *, touch: bool = True) -> list[RunResult] | None:
@@ -235,10 +241,15 @@ class DiskStore:
             ``verify``'s ``--delete``) drop the entry and treat the key
             as a miss.
         """
+        prof = obs_spans.profiler()
+        begin = prof.begin if prof.enabled else None
+        h = begin("store.get", "store") if begin is not None else None
         path = self.path_for(key)
         try:
             text = path.read_text()
         except FileNotFoundError:
+            if h is not None:
+                h.end(hit=0)
             return None
         try:
             doc = json.loads(text)
@@ -260,6 +271,8 @@ class DiskStore:
         if touch:
             # Bump the LRU clock (mtime) without reading the wall clock.
             os.utime(path)
+        if h is not None:
+            h.end(hit=1, nbytes=len(text))
         return results
 
     def delete(self, key: str) -> bool:

@@ -33,6 +33,7 @@ from typing import Any, Callable, Sequence
 
 from repro.errors import SchedulerError, StoreCorruptionError
 from repro.obs import metrics as obs_metrics
+from repro.obs import spans as obs_spans
 from repro.obs import trace as obs_trace
 from repro.obs.events import StoreAccess
 from repro.sim.results import RunResult
@@ -190,14 +191,20 @@ def run_tasks(
     n = len(tasks)
     results: list[RunResult | None] = [None] * n
 
+    prof = obs_spans.profiler()
+    begin = prof.begin if prof.enabled else None
+
     journal: SweepJournal | None = None
     if store is not None:
+        h_journal = begin("store.journal", "store") if begin is not None else None
         journal = SweepJournal(
             store.journals_dir / f"{sweep_key(keys)}.jsonl",
             sweep_key(keys),
             n,
             resume=resume,
         )
+        if h_journal is not None:
+            h_journal.end(tasks=n)
 
     reg = obs_metrics.registry()
     tracer = obs_trace.get_tracer()
@@ -208,13 +215,16 @@ def run_tasks(
     # ------------------------------------------------------------------
     missing: list[tuple[int, Any]] = []
     hits = 0
+    corrupt = 0
     if store is not None:
+        h_lookup = begin("store.lookup", "store") if begin is not None else None
         for i, key in enumerate(keys):
             try:
                 batch = store.get(key)
             except StoreCorruptionError:
                 # Detected, dropped, recomputed — never served.
                 store.delete(key)
+                corrupt += 1
                 if reg.enabled:
                     reg.counter("store.corrupt").inc()
                 if emit is not None:
@@ -236,6 +246,8 @@ def run_tasks(
         if emit is not None:
             for i, _ in missing:
                 emit(StoreAccess("miss", keys[i], 0, 0))
+        if h_lookup is not None:
+            h_lookup.end(hits=hits, misses=len(missing), corrupt=corrupt)
     else:
         missing = list(enumerate(tasks))
 
@@ -255,6 +267,8 @@ def run_tasks(
             break
         if attempt and reg.enabled:
             reg.counter("store.retries").inc(len(pending))
+        h_exec = begin("store.execute", "store") if begin is not None else None
+        n_round = len(pending)
         if batch_execute is not None and block_of is not None and attempt == 0:
             # Re-form blocks over the misses only: pending tasks with
             # the same block id stay together as one pool task.
@@ -288,6 +302,8 @@ def run_tasks(
                     for index, result in item:
                         results[index] = result
             pending = retry_items
+            if h_exec is not None:
+                h_exec.end(attempt=attempt, tasks=n_round, failures=len(failures))
             continue
         outcome = parallel_map(
             partial(_run_indexed, execute),
@@ -309,6 +325,8 @@ def run_tasks(
                 index, result = item
                 results[index] = result
         pending = retry_items
+        if h_exec is not None:
+            h_exec.end(attempt=attempt, tasks=n_round, failures=len(failures))
 
     if journal is not None:
         journal.close()

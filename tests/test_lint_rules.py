@@ -300,6 +300,66 @@ class TestObsNeutrality:
         """
         assert findings(src, "src/repro/obs/trace.py", self.RULE) == []
 
+    def test_direct_profiler_begin_triggers(self):
+        src = """
+            from repro.obs import spans as obs_spans
+
+            def f():
+                prof = obs_spans.profiler()
+                if prof.enabled:
+                    h = prof.begin("engine.run", "engine")
+                    h.end()
+        """
+        assert len(findings(src, "src/repro/sim/engine.py", self.RULE)) == 1
+
+    def test_chained_profiler_begin_triggers(self):
+        src = """
+            from repro.obs.spans import profiler
+
+            def f():
+                profiler().begin("store.put", "store").end()
+        """
+        # Both the begin and the chained end are direct profiler calls.
+        assert len(findings(src, "src/repro/store/backend.py", self.RULE)) >= 1
+
+    def test_direct_profiler_end_triggers(self):
+        src = """
+            def f(prof, handle):
+                prof.end(handle, hits=3)
+        """
+        assert len(findings(src, "src/repro/sim/runner.py", self.RULE)) == 1
+
+    def test_hoisted_span_guard_ok(self):
+        """The discipline every instrumented module follows."""
+        src = """
+            from repro.obs import spans as obs_spans
+
+            def f():
+                prof = obs_spans.profiler()
+                begin = prof.begin if prof.enabled else None
+                h = begin("engine.run", "engine") if begin is not None else None
+                if h is not None:
+                    h.end(slots=4)
+        """
+        assert findings(src, "src/repro/sim/engine.py", self.RULE) == []
+
+    def test_obs_package_may_call_profiler(self):
+        src = """
+            def span(name, cat, prof):
+                handle = prof.begin(name, cat)
+                handle.end()
+        """
+        assert findings(src, "src/repro/obs/spans.py", self.RULE) == []
+
+    def test_unrelated_begin_ok(self):
+        """``begin``/``end`` on non-profiler objects is not telemetry."""
+        src = """
+            def f(transaction):
+                transaction.begin()
+                transaction.end()
+        """
+        assert findings(src, "src/repro/sim/runner.py", self.RULE) == []
+
 
 class TestVecObjectDtype:
     RULE = "vec-object-dtype"

@@ -1,0 +1,98 @@
+"""Span export: JSONL round-trip and Chrome trace-event shape."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import spans
+from repro.obs.export import (
+    SpanJsonlSink,
+    read_spans_jsonl,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.spans import SpanEvent
+
+
+def _span(name="work", start=0.5, dur=0.25, span_id=1, parent_id=None, **counters):
+    return SpanEvent(
+        name=name,
+        cat="test",
+        start=start,
+        dur=dur,
+        span_id=span_id,
+        parent_id=parent_id,
+        pid=100,
+        tid=200,
+        counters={k: float(v) for k, v in counters.items()},
+    )
+
+
+class TestJsonl:
+    def test_sink_roundtrip(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with spans.capture_spans(SpanJsonlSink(path)):
+            outer = spans.profiler().begin("outer", "t")
+            spans.profiler().begin("inner", "t").end(n=2)
+            outer.end()
+        loaded = list(read_spans_jsonl(path))
+        assert [s.name for s in loaded] == ["inner", "outer"]
+        assert loaded[0].parent_id == loaded[1].span_id
+        assert loaded[0].counters == {"n": 2.0}
+
+    def test_sink_appends_and_closes(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        sink = SpanJsonlSink(path)
+        sink.emit(_span(span_id=1))
+        sink.close()
+        with SpanJsonlSink(path) as sink2:
+            sink2.emit(_span(span_id=2))
+        assert [s.span_id for s in read_spans_jsonl(path)] == [1, 2]
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        body = json.dumps(spans.span_to_dict(_span()))
+        path.write_text(f"\n{body}\n\n")
+        assert len(list(read_spans_jsonl(path))) == 1
+
+
+class TestChromeTrace:
+    def test_document_shape(self):
+        doc = to_chrome_trace([_span(start=0.5, dur=0.25, hits=3)])
+        assert doc["displayTimeUnit"] == "ms"
+        (ev,) = doc["traceEvents"]
+        assert ev["ph"] == "X"
+        assert ev["ts"] == 500_000 and isinstance(ev["ts"], int)
+        assert ev["dur"] == 250_000 and isinstance(ev["dur"], int)
+        assert ev["pid"] == 100 and ev["tid"] == 200
+        assert ev["args"] == {"span_id": 1, "hits": 3.0}
+
+    def test_events_sorted_by_start(self):
+        doc = to_chrome_trace(
+            [_span(name="late", start=2.0, span_id=2), _span(name="early", start=1.0)]
+        )
+        assert [e["name"] for e in doc["traceEvents"]] == ["early", "late"]
+
+    def test_parent_id_in_args_empty_cat_defaults(self):
+        child = SpanEvent(
+            name="c", cat="", start=0.0, dur=0.1, span_id=2, parent_id=1,
+            pid=1, tid=1, counters={},
+        )
+        (ev,) = to_chrome_trace([child])["traceEvents"]
+        assert ev["cat"] == "span"
+        assert ev["args"]["parent_id"] == 1
+
+    def test_write_creates_parents_and_valid_json(self, tmp_path):
+        out = write_chrome_trace([_span()], tmp_path / "deep" / "trace.json")
+        assert out.exists()
+        doc = json.loads(out.read_text())
+        assert len(doc["traceEvents"]) == 1
+
+    def test_live_capture_exports(self, tmp_path):
+        with spans.capture_spans() as buf:
+            h = spans.profiler().begin("root", "runner")
+            spans.profiler().begin("leaf", "engine").end()
+            h.end()
+        doc = to_chrome_trace(buf.spans)
+        names = [e["name"] for e in doc["traceEvents"]]
+        assert names == ["root", "leaf"]  # start order, not close order

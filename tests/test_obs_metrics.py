@@ -152,3 +152,60 @@ class TestInstrumentation:
         snap = reg.snapshot()
         assert snap["runner.block"]["count"] == 1
         assert snap["engine.runs"] == 2
+
+
+class TestBlockTimerOverStore:
+    """``runner.block`` stays consistent when the store re-forms blocks.
+
+    A store-backed sweep only executes the *missing* tasks, re-grouped
+    into fresh replication blocks — the block timer must count those
+    re-formed blocks, not the nominal grid shape."""
+
+    SEED = 20050113
+
+    def _grid(self, config, store, **kw):
+        from repro.sim.runner import sweep_grid
+
+        return sweep_grid(
+            config, [20.0], [0.3, 0.7], 3, self.SEED, store=store, **kw
+        )
+
+    def test_cold_sweep_one_block_per_point(self, small_sim_config, tmp_path):
+        with metrics.collect() as reg:
+            self._grid(small_sim_config, tmp_path / "store")
+        snap = reg.snapshot()
+        assert snap["runner.block"]["count"] == 2  # one per (rho, p)
+        assert snap["engine.runs"] == 6
+
+    def test_partially_warm_store_reforms_blocks(self, small_sim_config, tmp_path):
+        from repro.sim.runner import sweep_grid
+
+        store = tmp_path / "store"
+        # Warm one grid point only: its 3 tasks become cache hits.
+        sweep_grid(small_sim_config, [20.0], [0.3], 3, self.SEED, store=store)
+        with metrics.collect() as reg:
+            self._grid(small_sim_config, store)
+        snap = reg.snapshot()
+        # Only the p=0.7 misses re-form into a block; hits time nothing.
+        assert snap["runner.block"]["count"] == 1
+        assert snap["engine.runs"] == 3
+        assert snap["runner.block"]["total_s"] >= snap["engine.run_batch"]["total_s"]
+
+    def test_fully_warm_store_times_no_blocks(self, small_sim_config, tmp_path):
+        store = tmp_path / "store"
+        self._grid(small_sim_config, store)
+        with metrics.collect() as reg:
+            self._grid(small_sim_config, store)
+        snap = reg.snapshot()
+        assert "runner.block" not in snap
+        assert "engine.runs" not in snap
+
+    def test_block_totals_nest_run_totals(self, small_sim_config, tmp_path):
+        """Every engine run happens inside a block, so the block timer's
+        total must dominate the engine timer's, with matching counts."""
+        with metrics.collect() as reg:
+            self._grid(small_sim_config, tmp_path / "store")
+        snap = reg.snapshot()
+        assert snap["engine.batches"] == snap["runner.block"]["count"]
+        assert snap["engine.run_batch"]["count"] == snap["engine.batches"]
+        assert snap["runner.block"]["total_s"] >= snap["engine.run_batch"]["total_s"]

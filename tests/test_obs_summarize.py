@@ -6,6 +6,7 @@ import pytest
 
 from repro.analysis.config import AnalysisConfig
 from repro.obs import capture, provenance, summarize
+from repro.obs.events import SearchStep, StoreAccess
 from repro.obs.trace import JsonlSink
 from repro.protocols.pbcast import ProbabilisticRelay
 from repro.sim.config import SimulationConfig
@@ -77,6 +78,61 @@ class TestRenderTrace:
         path, _ = traced_run
         text = summarize.render_trace(path, max_slots=2)
         assert "(2 of" in text
+
+
+class TestStoreAndSearchEvents:
+    """StoreAccess and SearchStep events aggregate and render (PR 7)."""
+
+    @pytest.fixture
+    def mixed_trace(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        sink = JsonlSink(path)
+        key = "ab" * 32
+        for ev in (
+            StoreAccess(op="hit", key=key, n_results=20, nbytes=800),
+            StoreAccess(op="miss", key=key, n_results=0, nbytes=0),
+            StoreAccess(op="miss", key=key, n_results=0, nbytes=0),
+            StoreAccess(op="put", key=key, n_results=20, nbytes=1234),
+            StoreAccess(op="put", key=key, n_results=20, nbytes=766),
+            SearchStep(stage="probe", rung=0, p=0.1, feasible=False, value=float("nan")),
+            SearchStep(stage="probe", rung=3, p=0.5, feasible=True, value=12.5),
+            SearchStep(stage="verify", rung=3, p=0.5, feasible=True, value=12.1),
+        ):
+            sink.emit(ev)
+        sink.close()
+        return path
+
+    def test_store_ops_aggregate(self, mixed_trace):
+        s = summarize.summarize_trace(mixed_trace)
+        assert s["store_ops"] == {"hit": 1, "miss": 2, "put": 2}
+        assert s["store_put_bytes"] == 2000
+
+    def test_search_steps_kept_in_order(self, mixed_trace):
+        s = summarize.summarize_trace(mixed_trace)
+        stages = [st.stage for st in s["search_steps"]]
+        assert stages == ["probe", "probe", "verify"]
+        assert s["search_steps"][1].value == pytest.approx(12.5)
+
+    def test_render_includes_store_and_search(self, mixed_trace):
+        text = summarize.render_trace(mixed_trace)
+        assert "store accesses (5 events):" in text
+        assert "put" in text and "(2000 bytes)" in text
+        assert "search steps (3):" in text
+        assert "verify" in text
+
+    def test_pure_sim_trace_output_unchanged(self, traced_run):
+        """A trace without store/search events renders exactly as before."""
+        path, _ = traced_run
+        text = summarize.render_trace(path)
+        assert "store accesses" not in text
+        assert "search steps" not in text
+
+    def test_engine_trace_has_empty_aggregates(self, traced_run):
+        path, _ = traced_run
+        s = summarize.summarize_trace(path)
+        assert s["store_ops"] == {}
+        assert s["store_put_bytes"] == 0
+        assert s["search_steps"] == []
 
 
 class TestCli:
