@@ -40,6 +40,16 @@ DEFAULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
 DEFAULT_HISTORY = Path(__file__).resolve().parent.parent / "BENCH_history.jsonl"
 ALIAS_PREFIX = "baseline:"
 
+#: Absolute wall-time budgets (seconds), enforced with NO tolerance:
+#: these guard "stays in the edit loop" claims rather than relative
+#: regressions.  The budgets are set with generous headroom over
+#: current medians, so machine variance cannot trip them.
+HARD_LIMITS: dict[str, float] = {
+    # Whole-program lint pass (warm summary cache) over src/: must stay
+    # cheap enough to run as a pre-commit habit.
+    "benchmarks/bench_perf_lint.py::test_analyzer_warm_cache_src": 5.0,
+}
+
 
 def check(data: dict, tolerance: float) -> list[str]:
     """Return a list of failure messages (empty = guard passes)."""
@@ -77,6 +87,23 @@ def check(data: dict, tolerance: float) -> list[str]:
             failures.append(
                 f"{key}: median {cur:.6g}s exceeds {label} baseline "
                 f"{base:.6g}s by more than {tolerance:.0%}"
+            )
+    for key, limit in sorted(HARD_LIMITS.items()):
+        cur = current.get(key)
+        if cur is None:
+            failures.append(
+                f"{key}: tracked in HARD_LIMITS but absent from 'current'"
+            )
+            continue
+        ok = cur <= limit
+        print(
+            f"{'ok  ' if ok else 'FAIL'} {key}\n"
+            f"     current {cur:.6g}s vs hard limit {limit:.6g}s"
+        )
+        if not ok:
+            failures.append(
+                f"{key}: median {cur:.6g}s exceeds the absolute budget "
+                f"{limit:.6g}s"
             )
     return failures
 

@@ -126,7 +126,7 @@ class SurrogateResult:
 def surrogate_model(
     policy: RelayPolicy,
     config: AnalysisConfig,
-    seed: SeedLike = 0,
+    seed: SeedLike = None,
     *,
     p_eff: float | None = None,
     replications: int = 6,

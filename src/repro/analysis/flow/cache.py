@@ -1,0 +1,91 @@
+"""Incremental per-file fact cache for the flow analyses.
+
+Extraction (one full AST walk per module) dominates analyzer time, and
+its result — a :class:`ModuleSummary` — is a pure function of the file's
+text, its path, and the extraction code version.  The cache stores one
+JSON summary per file under ``.repro-lint-cache/`` (git-ignored), keyed
+by ``SHA-256(version, path, content)``, so a warm run skips every walk
+while remaining *byte-identical* to a cold run: summaries serialize
+with their internal ordering intact, and every analysis downstream is
+deterministic in that ordering.
+
+A corrupt, truncated, or version-skewed cache entry silently falls back
+to extraction — the cache can never change results, only speed.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from pathlib import Path
+
+from repro.analysis.flow.summary import (
+    SUMMARY_VERSION,
+    ModuleSummary,
+    extract_module,
+)
+
+__all__ = ["DEFAULT_CACHE_DIR", "SummaryCache", "content_key"]
+
+DEFAULT_CACHE_DIR = ".repro-lint-cache"
+
+
+def content_key(path: str, source: str) -> str:
+    """Cache key of one file's extraction facts."""
+    h = hashlib.sha256()
+    h.update(f"summary-v{SUMMARY_VERSION}\x00{path}\x00".encode())
+    h.update(source.encode("utf-8"))
+    return h.hexdigest()
+
+
+class SummaryCache:
+    """Load-or-extract module summaries with on-disk memoization."""
+
+    def __init__(self, directory: str | Path | None) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        self.hits = 0
+        self.misses = 0
+
+    def _entry(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{key}.json"
+
+    def load(self, path: str, source: str) -> ModuleSummary | None:
+        if self.directory is None:
+            return None
+        entry = self._entry(content_key(path, source))
+        try:
+            doc = json.loads(entry.read_text(encoding="utf-8"))
+            if doc.get("version") != SUMMARY_VERSION or doc.get("path") != path:
+                return None
+            return ModuleSummary.from_dict(doc)
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def store(self, path: str, source: str, summary: ModuleSummary) -> None:
+        if self.directory is None:
+            return
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            entry = self._entry(content_key(path, source))
+            tmp = entry.with_suffix(".tmp")
+            tmp.write_text(json.dumps(summary.to_dict()), encoding="utf-8")
+            tmp.replace(entry)
+        except OSError:
+            pass  # a read-only checkout degrades to cold runs
+
+    def summary_for(
+        self, path: str, source: str, tree: ast.Module | None = None
+    ) -> ModuleSummary:
+        """Cached summary of one module, extracting on miss."""
+        cached = self.load(path, source)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        if tree is None:
+            tree = ast.parse(source, filename=path)
+        summary = extract_module(tree, path)
+        self.store(path, source, summary)
+        return summary

@@ -1,0 +1,445 @@
+"""Per-function effect inference and contract enforcement.
+
+Every project function gets a set of effects from the lattice
+``{rng, io, time, global-mutation}`` (the empty set is *pure*):
+
+``rng``
+    Consumes or perturbs random-stream state: generator draw methods,
+    ``SeedSequence.spawn`` (mutates the spawn counter), legacy
+    ``numpy.random`` module functions, or constructions that pull fresh
+    OS entropy (``SeedSequence()`` / ``default_rng()`` with no inputs).
+    Constructing from explicit inputs (``SeedSequence(seed)``,
+    ``default_rng(child)``) is *pure*: the result is a deterministic
+    function of its arguments.
+``io``
+    Filesystem/console/environment traffic.
+``time``
+    Reads any clock (including monotonic/perf counters).
+``global-mutation``
+    Rebinds or mutates module-level state.
+
+Effects propagate transitively over the call graph (least fixed point),
+including duck-typed method edges: a call ``obj.flush_to_disk()``
+unions the effects of every project method named ``flush_to_disk``
+(generic container/ndarray method names are excluded from duck lookup
+to avoid smearing unrelated classes together).  Unknown externals are
+assumed pure — the analysis is a reviewed allow-list of impurity
+primitives, not a sandbox.
+
+Calls through the observability guard methods (``emit``/``begin``/
+``end``) are excluded from propagation entirely: the obs-neutrality
+lint rule already enforces that these sit behind hoisted enabled-checks,
+which is exactly the "obs emit paths are mutation-free when disabled"
+contract — without the exclusion, the span-id counter would poison
+every instrumented engine path with ``global-mutation``.
+
+The inferred lattice is published as a committed manifest
+(``effects-manifest.json``: impure functions only, pure-by-absence) and
+checked against declared contracts such as "everything reachable from
+``store.keys.task_key`` is pure".
+"""
+
+from __future__ import annotations
+
+from repro.analysis.flow.callgraph import CallGraph
+from repro.analysis.flow.summary import CallSite
+from repro.analysis.flow.symbols import Project, ResolvedCall
+from repro.analysis.flow.taint import Violation, WALLCLOCK_SOURCES
+
+__all__ = [
+    "EFFECTS",
+    "CONTRACTS",
+    "EffectInference",
+    "OBS_GUARD_METHODS",
+]
+
+EFFECTS = ("rng", "io", "time", "global-mutation")
+
+#: numpy Generator methods that consume stream state.
+GEN_METHODS = frozenset(
+    {
+        "random",
+        "integers",
+        "choice",
+        "shuffle",
+        "permutation",
+        "permuted",
+        "normal",
+        "standard_normal",
+        "uniform",
+        "poisson",
+        "binomial",
+        "exponential",
+        "geometric",
+        "gamma",
+        "beta",
+        "bytes",
+    }
+)
+#: Legacy module-level numpy.random functions (global stream).
+LEGACY_NP_RANDOM = frozenset(
+    {
+        "numpy.random.seed",
+        "numpy.random.rand",
+        "numpy.random.randn",
+        "numpy.random.randint",
+        "numpy.random.random",
+        "numpy.random.choice",
+        "numpy.random.shuffle",
+        "numpy.random.permutation",
+        "numpy.random.uniform",
+        "numpy.random.normal",
+    }
+)
+_ENTROPY_CONSTRUCTORS = frozenset(
+    {"numpy.random.SeedSequence", "numpy.random.default_rng"}
+)
+
+IO_EXTERNALS = frozenset(
+    {
+        "open",
+        "print",
+        "input",
+        "json.dump",
+        "json.load",
+        "pickle.dump",
+        "pickle.load",
+        "numpy.save",
+        "numpy.load",
+        "numpy.savez",
+        "os.urandom",
+        "os.mkdir",
+        "os.makedirs",
+        "os.remove",
+        "os.unlink",
+        "os.rename",
+        "os.replace",
+        "os.rmdir",
+        "os.listdir",
+        "os.scandir",
+        "os.stat",
+        "os.fsync",
+        "os.getenv",
+        "os.environ.get",
+        "shutil.rmtree",
+        "shutil.copy",
+        "shutil.copy2",
+        "shutil.copytree",
+        "shutil.move",
+        "subprocess.run",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "tempfile.mkdtemp",
+        "tempfile.NamedTemporaryFile",
+        "sys.stdout.write",
+        "sys.stderr.write",
+    }
+)
+#: Method names that do I/O on any plausible receiver (file handles,
+#: pathlib.Path).  Receiver-type-blind on purpose.
+IO_METHODS = frozenset(
+    {
+        "write",
+        "writelines",
+        "read",
+        "readline",
+        "readlines",
+        "flush",
+        "fsync",
+        "mkdir",
+        "rmdir",
+        "unlink",
+        "rename",
+        "replace",
+        "touch",
+        "write_text",
+        "write_bytes",
+        "read_text",
+        "read_bytes",
+        "glob",
+        "rglob",
+        "iterdir",
+        "hardlink_to",
+        "symlink_to",
+    }
+)
+
+#: Mutating container methods: applied to a module-level receiver they
+#: are global mutation.
+MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "add",
+        "update",
+        "insert",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "setdefault",
+        "sort",
+        "reverse",
+    }
+)
+
+#: Observability guard methods excluded from effect propagation (see
+#: module docstring).
+OBS_GUARD_METHODS = frozenset({"emit", "begin", "end"})
+
+#: Method names excluded from duck-typed propagation: generic
+#: container/ndarray/str vocabulary shared by unrelated classes.
+DUCK_BLOCKLIST = frozenset(
+    {
+        "get",
+        "items",
+        "keys",
+        "values",
+        "copy",
+        "index",
+        "count",
+        "join",
+        "split",
+        "strip",
+        "encode",
+        "decode",
+        "format",
+        "item",
+        "tolist",
+        "astype",
+        "reshape",
+        "sum",
+        "mean",
+        "close",
+        "reset",
+        "clear",
+        "update",
+        "append",
+        "add",
+        "extend",
+        "pop",
+        "sort",
+        "__init__",
+        "__repr__",
+        "__str__",
+    }
+)
+
+#: Declared effect contracts: (fully-qualified prefix or exact name,
+#: allowed effects, rationale).  Matching is exact-or-prefix: an entry
+#: ending in "." constrains every function under that namespace.
+#: Because inferred effects are already transitive over the call graph,
+#: constraining a root constrains everything reachable from it.
+CONTRACTS: tuple[tuple[str, frozenset[str], str], ...] = (
+    (
+        "repro.store.keys.",
+        frozenset(),
+        "store keys must be a pure function of their inputs",
+    ),
+    (
+        "repro.store.backend.pack_result",
+        frozenset(),
+        "packed payload bytes must be a pure function of the result",
+    ),
+    (
+        "repro.obs.events.",
+        frozenset(),
+        "trace events are value objects; constructing one must be free",
+    ),
+    (
+        "repro.utils.stats.",
+        frozenset(),
+        "statistical kernels are deterministic math",
+    ),
+    (
+        "repro.utils.rng.",
+        frozenset({"rng"}),
+        "stream management may touch RNG state but nothing else",
+    ),
+    (
+        "repro.sim.engine.run_broadcast",
+        frozenset({"rng", "time"}),
+        "the engine draws randomness and reads perf counters, nothing else",
+    ),
+    (
+        "repro.sim.engine.run_broadcast_batch",
+        frozenset({"rng", "time"}),
+        "the batched engine draws randomness and reads perf counters, nothing else",
+    ),
+    (
+        "repro.collision.",
+        frozenset(),
+        "collision tables are deterministic DP over model parameters",
+    ),
+)
+
+
+class EffectInference:
+    """Least-fixed-point effect propagation over the call graph."""
+
+    def __init__(self, project: Project, graph: CallGraph) -> None:
+        self.project = project
+        self.graph = graph
+        self.effects: dict[str, frozenset[str]] = {}
+        self._primitives: dict[str, frozenset[str]] = {}
+        self._solved = False
+
+    def solve(self) -> dict[str, frozenset[str]]:
+        if self._solved:
+            return self.effects
+        self._solved = True
+        for fq in self.project.functions:
+            self._primitives[fq] = self._local_effects(fq)
+            self.effects[fq] = self._primitives[fq]
+        for _ in range(100):
+            changed = False
+            for fq in self.project.functions:
+                acc = set(self._primitives[fq])
+                for _site, resolved in self.graph.resolved[fq]:
+                    for callee in self._propagation_targets(resolved):
+                        acc |= self.effects.get(callee, frozenset())
+                fs = frozenset(acc)
+                if fs != self.effects[fq]:
+                    self.effects[fq] = fs
+                    changed = True
+            if not changed:
+                break
+        return self.effects
+
+    def _propagation_targets(self, resolved: ResolvedCall) -> list[str]:
+        if resolved.method_name in OBS_GUARD_METHODS:
+            return []
+        targets = list(resolved.project_targets)
+        name = resolved.method_name
+        if name and name not in DUCK_BLOCKLIST and not targets:
+            targets = self.project.method_index.get(name, [])
+        return targets
+
+    def _local_effects(self, fq: str) -> frozenset[str]:
+        fn = self.project.functions[fq]
+        s = fn.summary
+        acc: set[str] = set()
+        if s.globals_written:
+            acc.add("global-mutation")
+        module_names = set(fn.module.module_names)
+        for site, resolved in self.graph.resolved[fq]:
+            acc |= self._site_effects(fn.module.module, module_names, site, resolved)
+        return frozenset(acc)
+
+    def _site_effects(
+        self,
+        module: str,
+        module_names: set[str],
+        site: CallSite,
+        resolved: ResolvedCall,
+    ) -> set[str]:
+        acc: set[str] = set()
+        ext = resolved.external
+        name = resolved.method_name
+        if name in OBS_GUARD_METHODS:
+            return acc
+        if ext in WALLCLOCK_SOURCES:
+            acc.add("time")
+        if ext in IO_EXTERNALS:
+            acc.add("io")
+        if ext in LEGACY_NP_RANDOM:
+            acc.add("rng")
+        if ext in _ENTROPY_CONSTRUCTORS and self._draws_entropy(site):
+            acc.add("rng")
+        if not ext:
+            # Name-based heuristics apply only to calls on *objects*
+            # (local/param/self receivers).  A canonical external path
+            # means the receiver chain was a module import — ``np.add``
+            # is a function lookup, not a mutation of the ``np`` global.
+            if name in GEN_METHODS or name == "spawn":
+                acc.add("rng")
+            if name in IO_METHODS:
+                acc.add("io")
+            if name in MUTATOR_METHODS and any(
+                r.startswith("g:") and r[2:] in module_names
+                for r in site.recv_roots
+            ):
+                acc.add("global-mutation")
+        return acc
+
+    @staticmethod
+    def _draws_entropy(site: CallSite) -> bool:
+        """True when a SeedSequence/default_rng construction has no
+        seed inputs (every argument absent or a literal None)."""
+        if site.arg_roots or any(site.kwarg_roots.values()):
+            return False
+        consts = list(site.arg_consts) + list(site.kwarg_consts.values())
+        return all(c == "none" for c in consts)
+
+    # -- manifest ------------------------------------------------------
+
+    def manifest(self) -> dict[str, list[str]]:
+        """Impure functions only: FQ name -> sorted effect list."""
+        self.solve()
+        return {
+            fq: sorted(effects)
+            for fq, effects in sorted(self.effects.items())
+            if effects
+        }
+
+    # -- violations ----------------------------------------------------
+
+    def contract_violations(self) -> list[Violation]:
+        self.solve()
+        out: list[Violation] = []
+        for fq in sorted(self.project.functions):
+            fn = self.project.functions[fq]
+            effects = self.effects[fq]
+            for pattern, allowed, why in CONTRACTS:
+                if pattern.endswith("."):
+                    if not fq.startswith(pattern):
+                        continue
+                elif fq != pattern:
+                    continue
+                extra = effects - allowed
+                if extra:
+                    out.append(
+                        Violation(
+                            fn.module.path,
+                            fn.summary.lineno,
+                            fn.summary.col,
+                            f"effect contract violation: {fq} has effects "
+                            f"{{{', '.join(sorted(extra))}}} beyond "
+                            f"{{{', '.join(sorted(allowed)) or 'pure'}}} "
+                            f"({why})",
+                        )
+                    )
+        out.sort(key=lambda v: (v.path, v.line, v.col, v.message))
+        return out
+
+    def manifest_drift(
+        self, committed: dict[str, list[str]], manifest_path: str
+    ) -> list[Violation]:
+        """Differences between the committed manifest and inference."""
+        inferred = self.manifest()
+        out: list[Violation] = []
+        for fq in sorted(set(inferred) | set(committed)):
+            have = inferred.get(fq)
+            want = committed.get(fq)
+            if have == want:
+                continue
+            fn = self.project.functions.get(fq)
+            if fn is not None:
+                path, line, col = fn.module.path, fn.summary.lineno, fn.summary.col
+            else:
+                path, line, col = manifest_path, 1, 0
+            have_s = ", ".join(have) if have else "pure"
+            want_s = ", ".join(want) if want else "pure"
+            out.append(
+                Violation(
+                    path,
+                    line,
+                    col,
+                    f"effects manifest drift for {fq}: inferred "
+                    f"[{have_s}] but {manifest_path} records [{want_s}]; "
+                    "regenerate with --write-effects",
+                )
+            )
+        out.sort(key=lambda v: (v.path, v.line, v.col, v.message))
+        return out

@@ -1,0 +1,732 @@
+"""Seed provenance and determinism taint over the project call graph.
+
+Both analyses interpret the derivation roots recorded in the module
+summaries (see :mod:`repro.analysis.flow.summary`) against the resolved
+call graph.  They share the same scope-walking structure but compute in
+opposite directions:
+
+**Seed provenance** is a *greatest* fixed point: every parameter that
+receives arguments at project call sites starts out assumed
+seed-derived and is demoted when any call site passes a value that is
+not.  A violation is an RNG/SeedSequence construction whose inputs are
+not derived from a seed-typed parameter or an explicit entropy
+boundary, or a hardcoded literal seed.
+
+**Determinism taint** is a *least* fixed point: taint kinds (wallclock,
+entropy, address, set-order) start empty and grow through assignments,
+returns, and parameter bindings until stable.  A violation is a tainted
+value reaching key material (``store.keys``), a packed result payload,
+a trace-event constructor, or manifest contents.
+
+Both are deliberately context-insensitive (one summary per function,
+argument facts unioned over all call sites) and object-insensitive
+(a tainted field taints the whole container).  That errs toward
+reporting, which is the right direction for invariants enforced with
+suppress-with-reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.flow.callgraph import CallGraph
+from repro.analysis.flow.summary import MODULE_SCOPE, CallSite, FunctionSummary
+from repro.analysis.flow.symbols import FlowFunction, Project, ResolvedCall
+
+__all__ = [
+    "Violation",
+    "SeedProvenance",
+    "DeterminismTaint",
+    "is_seed_name",
+]
+
+#: Fixed-point iteration bound; both analyses converge in a handful of
+#: rounds on this codebase — the bound only guards pathological input.
+_MAX_ROUNDS = 30
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One analysis violation, pre-Finding (rules attach suppressions)."""
+
+    path: str
+    line: int
+    col: int
+    message: str
+
+
+# --------------------------------------------------------------------------
+# seed provenance
+# --------------------------------------------------------------------------
+
+SEED_PARAM_NAMES = frozenset(
+    {
+        "seed",
+        "seeds",
+        "rng",
+        "rngs",
+        "seed_seq",
+        "seed_seqs",
+        "seed_sequence",
+        "seed_sequences",
+        "entropy",
+        "spawn_key",
+    }
+)
+SEED_PARAM_SUFFIXES = ("_seed", "_seeds", "_rng", "_rngs", "_seed_seq")
+
+#: Constructors whose *result* is an RNG-typed value and whose *inputs*
+#: must be seed-derived.  ``SeedSequence`` is special-cased: with no
+#: arguments it is the sanctioned explicit entropy boundary.
+RNG_CONSTRUCTORS = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "numpy.random.PCG64",
+        "numpy.random.PCG64DXSM",
+        "numpy.random.Philox",
+        "numpy.random.SFC64",
+        "numpy.random.MT19937",
+    }
+)
+SEEDSEQ_CONSTRUCTOR = "numpy.random.SeedSequence"
+
+#: Return-annotation fragments that mark a function as seed-producing.
+_SEED_ANNOTATIONS = ("SeedSequence", "Generator")
+
+
+def is_seed_name(name: str) -> bool:
+    """Heuristic axiom: parameters with these names carry seed material."""
+    return name in SEED_PARAM_NAMES or name.endswith(SEED_PARAM_SUFFIXES)
+
+
+def _param_bindings(
+    graph: CallGraph,
+) -> dict[tuple[str, str], list[tuple[str, list[str], str]]]:
+    """(callee FQ, param) -> [(caller FQ, arg roots, const tag)]."""
+    out: dict[tuple[str, str], list[tuple[str, list[str], str]]] = {}
+    for callee_fq, sites in graph.callers.items():
+        callee = graph.project.functions.get(callee_fq)
+        if callee is None:
+            continue
+        params = callee.summary.params
+        for caller_fq, site, resolved in sites:
+            offset = (
+                1
+                if (resolved.bound and params and params[0] in ("self", "cls"))
+                else 0
+            )
+            for i, roots in enumerate(site.arg_roots):
+                idx = i + offset
+                if idx >= len(params):
+                    break
+                const = site.arg_consts[i] if i < len(site.arg_consts) else ""
+                out.setdefault((callee_fq, params[idx]), []).append(
+                    (caller_fq, roots, const)
+                )
+            for kw, roots in site.kwarg_roots.items():
+                if kw in params:
+                    const = site.kwarg_consts.get(kw, "")
+                    out.setdefault((callee_fq, kw), []).append(
+                        (caller_fq, roots, const)
+                    )
+    return out
+
+
+class _ScopeWalker:
+    """Shared parent-chain helpers for both analyses."""
+
+    def __init__(self, project: Project, graph: CallGraph) -> None:
+        self.project = project
+        self.graph = graph
+
+    def parent_of(self, fn: FlowFunction) -> FlowFunction | None:
+        if not fn.summary.parent:
+            return None
+        return self.project.functions.get(
+            f"{fn.module.module}.{fn.summary.parent}"
+        )
+
+    def module_scope_of(self, fn: FlowFunction) -> FlowFunction | None:
+        return self.project.functions.get(f"{fn.module.module}.{MODULE_SCOPE}")
+
+    def resolved_site(
+        self, fq: str, index: int
+    ) -> tuple[CallSite, ResolvedCall]:
+        return self.graph.resolved[fq][index]
+
+
+class SeedProvenance(_ScopeWalker):
+    """Greatest-fixed-point inference of which values are seed-derived."""
+
+    def __init__(self, project: Project, graph: CallGraph) -> None:
+        super().__init__(project, graph)
+        self.bindings = _param_bindings(graph)
+        #: (fq, param) -> currently assumed seed-derived (non-axiom only)
+        self.param_seed: dict[tuple[str, str], bool] = {}
+        #: (FQ class, attr) -> currently assumed seed-derived
+        self.attr_seed: dict[tuple[str, str], bool] = {}
+        self._memo: dict[tuple[str, str], bool] = {}
+        self._ret_memo: dict[str, bool] = {}
+        self._attr_assigns: dict[tuple[str, str], list[tuple[str, list[str]]]] = {}
+        self._solved = False
+
+    # -- fixed point ---------------------------------------------------
+
+    def solve(self) -> None:
+        if self._solved:
+            return
+        self._solved = True
+        for (fq, param), blist in self.bindings.items():
+            if not is_seed_name(param) and blist:
+                self.param_seed[(fq, param)] = True  # optimistic start
+        for fn in self.project.functions.values():
+            s = fn.summary
+            if not s.class_name or s.parent:
+                continue
+            cls = f"{fn.module.module}.{s.class_name}"
+            for attr, roots in s.self_assigns.items():
+                self._attr_assigns.setdefault((cls, attr), []).append(
+                    (fn.fq, roots)
+                )
+        for key in self._attr_assigns:
+            self.attr_seed[key] = True
+        for _ in range(_MAX_ROUNDS):
+            if not self._demote_round():
+                break
+
+    def _demote_round(self) -> bool:
+        self._memo.clear()
+        self._ret_memo.clear()
+        changed = False
+        for key, blist in self.bindings.items():
+            if not self.param_seed.get(key, False):
+                continue
+            for _caller, roots, const in blist:
+                if roots:
+                    ok = any(self.root_is_seed(_caller, r) for r in roots)
+                else:
+                    # literal int pins the stream (flagged separately);
+                    # literal None is the sanctioned fresh-entropy form
+                    ok = const in ("int", "none")
+                if not ok:
+                    self.param_seed[key] = False
+                    changed = True
+                    break
+        for key, assigns in self._attr_assigns.items():
+            if not self.attr_seed[key]:
+                continue
+            for fq, roots in assigns:
+                if not roots or not any(self.root_is_seed(fq, r) for r in roots):
+                    self.attr_seed[key] = False
+                    changed = True
+                    break
+        return changed
+
+    # -- evaluation ----------------------------------------------------
+
+    def root_is_seed(
+        self, fq: str, root: str, stack: frozenset = frozenset()
+    ) -> bool:
+        key = (fq, root)
+        if key in self._memo:
+            return self._memo[key]
+        if key in stack:
+            return True  # optimistic on cycles (greatest fixed point)
+        stack = stack | {key}
+        fn = self.project.functions[fq]
+        s = fn.summary
+        kind, _, name = root.partition(":")
+        v = False
+        if kind == "p":
+            v = is_seed_name(name) or self.param_seed.get((fq, name), False)
+        elif kind == "l":
+            v = any(
+                self.root_is_seed(fq, r, stack) for r in s.derive.get(name, [])
+            )
+        elif kind == "s":
+            if s.class_name:
+                cls = f"{fn.module.module}.{s.class_name}"
+                v = self.attr_seed.get((cls, name), False)
+        elif kind == "g":
+            mod = self.module_scope_of(fn)
+            if mod is not None and mod.fq != fq:
+                v = any(
+                    self.root_is_seed(mod.fq, r, stack)
+                    for r in mod.summary.derive.get(name, [])
+                )
+        elif kind == "x":
+            v = self._closure_is_seed(fn, name, stack)
+        elif kind == "c":
+            v = self._call_is_seed(fq, int(name), stack)
+        self._memo[key] = v
+        return v
+
+    def _closure_is_seed(
+        self, fn: FlowFunction, name: str, stack: frozenset
+    ) -> bool:
+        parent = self.parent_of(fn)
+        while parent is not None:
+            ps = parent.summary
+            if name in ps.params:
+                return self.root_is_seed(parent.fq, f"p:{name}", stack)
+            if name in ps.derive:
+                return self.root_is_seed(parent.fq, f"l:{name}", stack)
+            parent = self.parent_of(parent)
+        return False
+
+    #: Externals whose result is just their arguments rearranged —
+    #: ``for s in enumerate(zip(cfgs, seeds))`` keeps the seeds seedy.
+    _SEQ_PASSTHROUGH = frozenset(
+        {"enumerate", "zip", "list", "tuple", "sorted", "reversed", "iter", "next"}
+    )
+
+    def _call_is_seed(self, fq: str, index: int, stack: frozenset) -> bool:
+        site, resolved = self.resolved_site(fq, index)
+        ext = resolved.external
+        if ext in RNG_CONSTRUCTORS or ext == SEEDSEQ_CONSTRUCTOR:
+            # the *result* is RNG-typed; bad inputs are flagged at the
+            # construction itself, not re-reported downstream
+            return True
+        if ext in self._SEQ_PASSTHROUGH:
+            return any(
+                self.root_is_seed(fq, r, stack)
+                for roots in (*site.arg_roots, *site.kwarg_roots.values())
+                for r in roots
+            )
+        if resolved.method_name == "spawn":
+            return any(
+                self.root_is_seed(fq, r, stack) for r in site.recv_roots
+            )
+        for target in resolved.project_targets:
+            if self.returns_seed(target, stack):
+                return True
+        return False
+
+    def returns_seed(self, fq: str, stack: frozenset = frozenset()) -> bool:
+        if fq in self._ret_memo:
+            return self._ret_memo[fq]
+        key = ("ret", fq)
+        if key in stack:
+            return True
+        stack = stack | {key}
+        fn = self.project.functions.get(fq)
+        if fn is None:
+            return False
+        s = fn.summary
+        if any(a in s.return_annotation for a in _SEED_ANNOTATIONS):
+            self._ret_memo[fq] = True
+            return True
+        nonempty = [r for r in s.returns if r]
+        v = bool(nonempty) and all(
+            any(self.root_is_seed(fq, root, stack) for root in roots)
+            for roots in nonempty
+        )
+        self._ret_memo[fq] = v
+        return v
+
+    # -- violations ----------------------------------------------------
+
+    def violations(self) -> list[Violation]:
+        self.solve()
+        out: list[Violation] = []
+        for fq in sorted(self.project.functions):
+            fn = self.project.functions[fq]
+            s = fn.summary
+            for param, line, col in s.int_default_params:
+                if is_seed_name(param):
+                    out.append(
+                        Violation(
+                            fn.module.path,
+                            line,
+                            col,
+                            f"literal int default for seed parameter "
+                            f"{param!r} of {fq} hardcodes the random stream; "
+                            "default to None (fresh entropy) or require a seed",
+                        )
+                    )
+            for site, resolved in self.graph.resolved[fq]:
+                out.extend(self._check_site(fn, site, resolved))
+        out.sort(key=lambda v: (v.path, v.line, v.col, v.message))
+        return out
+
+    def _check_site(
+        self, fn: FlowFunction, site: CallSite, resolved: ResolvedCall
+    ) -> list[Violation]:
+        out: list[Violation] = []
+        ext = resolved.external
+        where = f"{site.target or '<call>'}"
+
+        def emit(msg: str) -> None:
+            out.append(Violation(fn.module.path, site.lineno, site.col, msg))
+
+        if ext in RNG_CONSTRUCTORS:
+            args = [
+                *enumerate(site.arg_consts),
+                *site.kwarg_consts.items(),
+            ]
+            if not site.arg_roots and not site.kwarg_roots:
+                emit(
+                    f"{where}() draws implicit OS entropy; construct from a "
+                    "seed parameter or an explicit SeedSequence() boundary"
+                )
+            for pos, const in args:
+                if const == "int":
+                    emit(
+                        f"hardcoded literal seed in {where}(); thread a seed "
+                        "parameter instead"
+                    )
+                elif const == "none":
+                    emit(
+                        f"{where}(None) draws implicit OS entropy; use an "
+                        "explicit SeedSequence() boundary so the entropy is "
+                        "capturable in manifests"
+                    )
+            self._check_construction_args(fn, site, where, emit)
+        elif ext == SEEDSEQ_CONSTRUCTOR:
+            for const in list(site.arg_consts) + list(site.kwarg_consts.values()):
+                if const == "int":
+                    emit(
+                        f"hardcoded literal entropy in {where}(); thread a "
+                        "seed parameter instead"
+                    )
+            self._check_construction_args(fn, site, where, emit)
+        else:
+            # literal seeds handed to seed-named parameters of project code
+            for target in resolved.project_targets:
+                callee = self.project.functions.get(target)
+                if callee is None:
+                    continue
+                params = callee.summary.params
+                offset = (
+                    1
+                    if (resolved.bound and params and params[0] in ("self", "cls"))
+                    else 0
+                )
+                for i, const in enumerate(site.arg_consts):
+                    idx = i + offset
+                    if const == "int" and idx < len(params) and is_seed_name(params[idx]):
+                        emit(
+                            f"literal seed passed to parameter "
+                            f"{params[idx]!r} of {target}; thread a seed "
+                            "parameter instead"
+                        )
+                for kw, const in site.kwarg_consts.items():
+                    if const == "int" and kw in params and is_seed_name(kw):
+                        emit(
+                            f"literal seed passed to parameter {kw!r} of "
+                            f"{target}; thread a seed parameter instead"
+                        )
+        return out
+
+    def _check_construction_args(self, fn, site, where, emit) -> None:
+        labeled = [
+            *(
+                (
+                    f"argument {i}",
+                    roots,
+                    site.arg_consts[i] if i < len(site.arg_consts) else "",
+                )
+                for i, roots in enumerate(site.arg_roots)
+            ),
+            *(
+                (f"argument {kw!r}", roots, site.kwarg_consts.get(kw, ""))
+                for kw, roots in site.kwarg_roots.items()
+            ),
+        ]
+        for label, roots, const in labeled:
+            if const or not roots:
+                continue  # literals handled above; root-free exprs skipped
+            if not any(self.root_is_seed(fn.fq, r) for r in roots):
+                emit(
+                    f"{label} of {where}() is not derived from a seed "
+                    "parameter or an explicit entropy boundary"
+                )
+
+
+# --------------------------------------------------------------------------
+# determinism taint
+# --------------------------------------------------------------------------
+
+WALLCLOCK_SOURCES = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+ENTROPY_SOURCES = frozenset(
+    {
+        "os.urandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.token_urlsafe",
+        "secrets.randbits",
+    }
+)
+ADDRESS_SOURCES = frozenset(
+    {"id", "os.getpid", "threading.get_ident", "threading.get_native_id"}
+)
+#: Builtins that erase iteration-order dependence of their input.
+ORDER_NEUTRALIZERS = frozenset(
+    {"sorted", "min", "max", "sum", "len", "any", "all", "frozenset", "set"}
+)
+#: Builtins that materialize their input's iteration order.
+ORDER_MATERIALIZERS = frozenset({"list", "tuple", "iter", "enumerate"})
+
+#: Project functions whose arguments become store key material.
+KEY_SINKS = frozenset(
+    {
+        "repro.store.keys.task_key",
+        "repro.store.keys.sweep_key",
+        "repro.store.keys.canonical_json",
+        "repro.store.keys.seed_fingerprint",
+    }
+)
+PACK_SINK = "repro.store.backend.pack_result"
+EVENT_MODULE_PREFIX = "repro.obs.events."
+MANIFEST_SINK = "repro.obs.provenance.write_manifest"
+#: write_manifest kwargs that become manifest *identity* content
+#: (directory/filename/started/metrics are bookkeeping, not identity).
+MANIFEST_KWARGS = frozenset({"config", "seed", "params"})
+
+_SINK_LABELS = {
+    "repro.store.keys.task_key": "store key material",
+    "repro.store.keys.sweep_key": "store key material",
+    "repro.store.keys.canonical_json": "store key material",
+    "repro.store.keys.seed_fingerprint": "store key material",
+    PACK_SINK: "a packed result payload",
+    MANIFEST_SINK: "manifest contents",
+}
+
+
+class DeterminismTaint(_ScopeWalker):
+    """Least-fixed-point taint of nondeterminism sources toward sinks."""
+
+    def __init__(self, project: Project, graph: CallGraph) -> None:
+        super().__init__(project, graph)
+        self.bindings = _param_bindings(graph)
+        self.param_taint: dict[tuple[str, str], frozenset[str]] = {}
+        self.attr_taint: dict[tuple[str, str], frozenset[str]] = {}
+        self.returns_taint: dict[str, frozenset[str]] = {}
+        self._memo: dict[tuple[str, str], frozenset[str]] = {}
+        self._attr_assigns: dict[tuple[str, str], list[tuple[str, list[str]]]] = {}
+        self._solved = False
+
+    def solve(self) -> None:
+        if self._solved:
+            return
+        self._solved = True
+        for fn in self.project.functions.values():
+            s = fn.summary
+            if not s.class_name or s.parent:
+                continue
+            cls = f"{fn.module.module}.{s.class_name}"
+            for attr, roots in s.self_assigns.items():
+                self._attr_assigns.setdefault((cls, attr), []).append(
+                    (fn.fq, roots)
+                )
+        for _ in range(_MAX_ROUNDS):
+            if not self._grow_round():
+                break
+
+    def _grow_round(self) -> bool:
+        self._memo.clear()
+        changed = False
+        for key, blist in self.bindings.items():
+            acc = set(self.param_taint.get(key, frozenset()))
+            for caller, roots, _const in blist:
+                for r in roots:
+                    acc |= self.taints(caller, r)
+            fs = frozenset(acc)
+            if fs != self.param_taint.get(key, frozenset()):
+                self.param_taint[key] = fs
+                changed = True
+        for key, assigns in self._attr_assigns.items():
+            acc = set(self.attr_taint.get(key, frozenset()))
+            for fq, roots in assigns:
+                for r in roots:
+                    acc |= self.taints(fq, r)
+            fs = frozenset(acc)
+            if fs != self.attr_taint.get(key, frozenset()):
+                self.attr_taint[key] = fs
+                changed = True
+        for fq in self.project.functions:
+            acc = set(self.returns_taint.get(fq, frozenset()))
+            for roots in self.project.functions[fq].summary.returns:
+                for r in roots:
+                    acc |= self.taints(fq, r)
+            fs = frozenset(acc)
+            if fs != self.returns_taint.get(fq, frozenset()):
+                self.returns_taint[fq] = fs
+                changed = True
+        return changed
+
+    # -- evaluation ----------------------------------------------------
+
+    def taints(
+        self, fq: str, root: str, stack: frozenset = frozenset()
+    ) -> frozenset[str]:
+        key = (fq, root)
+        if key in self._memo:
+            return self._memo[key]
+        if key in stack:
+            return frozenset()  # least fixed point: cycles start empty
+        stack = stack | {key}
+        fn = self.project.functions[fq]
+        s = fn.summary
+        kind, _, name = root.partition(":")
+        acc: set[str] = set()
+        if kind == "p":
+            acc |= self.param_taint.get((fq, name), frozenset())
+        elif kind == "l":
+            for r in s.derive.get(name, []):
+                acc |= self.taints(fq, r, stack)
+            acc |= self._loop_order_taint(fq, s, name, stack)
+        elif kind == "s":
+            if s.class_name:
+                cls = f"{fn.module.module}.{s.class_name}"
+                acc |= self.attr_taint.get((cls, name), frozenset())
+        elif kind == "g":
+            mod = self.module_scope_of(fn)
+            if mod is not None and mod.fq != fq:
+                for r in mod.summary.derive.get(name, []):
+                    acc |= self.taints(mod.fq, r, stack)
+        elif kind == "x":
+            acc |= self._closure_taints(fn, name, stack)
+        elif kind == "c":
+            acc |= self._call_taints(fq, int(name), stack)
+        result = frozenset(acc)
+        self._memo[key] = result
+        return result
+
+    def _loop_order_taint(
+        self, fq: str, s: FunctionSummary, name: str, stack: frozenset
+    ) -> frozenset[str]:
+        for targets, iter_roots, _line, _col in s.loops:
+            if name in targets and self._iter_is_set(s, iter_roots):
+                return frozenset({"set-order"})
+        return frozenset()
+
+    @staticmethod
+    def _iter_is_set(s: FunctionSummary, iter_roots: list[str]) -> bool:
+        return any(
+            r.startswith("l:") and r[2:] in s.set_typed for r in iter_roots
+        )
+
+    def _closure_taints(
+        self, fn: FlowFunction, name: str, stack: frozenset
+    ) -> frozenset[str]:
+        parent = self.parent_of(fn)
+        while parent is not None:
+            ps = parent.summary
+            if name in ps.params:
+                return self.taints(parent.fq, f"p:{name}", stack)
+            if name in ps.derive:
+                return self.taints(parent.fq, f"l:{name}", stack)
+            parent = self.parent_of(parent)
+        return frozenset()
+
+    def _call_taints(
+        self, fq: str, index: int, stack: frozenset
+    ) -> frozenset[str]:
+        site, resolved = self.resolved_site(fq, index)
+        ext = resolved.external
+        if ext in WALLCLOCK_SOURCES:
+            return frozenset({"wallclock"})
+        if ext in ENTROPY_SOURCES:
+            return frozenset({"entropy"})
+        if ext in ADDRESS_SOURCES:
+            return frozenset({"address"})
+        inputs: set[str] = set()
+        fn = self.project.functions[fq]
+        for r in site.recv_roots:
+            inputs |= self.taints(fq, r, stack)
+        arg_taints: set[str] = set()
+        for roots in site.arg_roots:
+            for r in roots:
+                arg_taints |= self.taints(fq, r, stack)
+        for roots in site.kwarg_roots.values():
+            for r in roots:
+                arg_taints |= self.taints(fq, r, stack)
+        if ext in ORDER_NEUTRALIZERS:
+            return frozenset(arg_taints - {"set-order"})
+        if ext in ORDER_MATERIALIZERS:
+            acc = set(arg_taints)
+            for roots in site.arg_roots:
+                if self._iter_is_set(fn.summary, roots):
+                    acc.add("set-order")
+            return frozenset(acc)
+        if resolved.project_targets:
+            acc = set(arg_taints) | inputs
+            for target in resolved.project_targets:
+                acc |= self.returns_taint.get(target, frozenset())
+            return frozenset(acc)
+        # constructors, value methods, unknown externals: taint flows
+        # through from every input
+        return frozenset(arg_taints | inputs)
+
+    # -- violations ----------------------------------------------------
+
+    def violations(self) -> list[Violation]:
+        self.solve()
+        out: list[Violation] = []
+        for fq in sorted(self.project.functions):
+            fn = self.project.functions[fq]
+            for site, resolved in self.graph.resolved[fq]:
+                out.extend(self._check_sink(fn, site, resolved))
+        out.sort(key=lambda v: (v.path, v.line, v.col, v.message))
+        return out
+
+    def _check_sink(
+        self, fn: FlowFunction, site: CallSite, resolved: ResolvedCall
+    ) -> list[Violation]:
+        out: list[Violation] = []
+
+        def check(label: str, roots: list[str], sink_desc: str) -> None:
+            kinds: set[str] = set()
+            for r in roots:
+                kinds |= self.taints(fn.fq, r)
+            if kinds:
+                out.append(
+                    Violation(
+                        fn.module.path,
+                        site.lineno,
+                        site.col,
+                        f"{'/'.join(sorted(kinds))}-tainted value in {label} "
+                        f"flows into {sink_desc}",
+                    )
+                )
+
+        sink_fqs = [t for t in resolved.project_targets if t in KEY_SINKS or t == PACK_SINK or t == MANIFEST_SINK]
+        for target in sink_fqs:
+            desc = _SINK_LABELS[target]
+            if target == MANIFEST_SINK:
+                if len(site.arg_roots) > 1:
+                    check("positional argument 1", site.arg_roots[1], desc)
+                for kw, roots in site.kwarg_roots.items():
+                    if kw in MANIFEST_KWARGS:
+                        check(f"argument {kw!r}", roots, desc)
+            else:
+                for i, roots in enumerate(site.arg_roots):
+                    check(f"argument {i}", roots, desc)
+                for kw, roots in site.kwarg_roots.items():
+                    check(f"argument {kw!r}", roots, desc)
+        if resolved.constructor_of.startswith(EVENT_MODULE_PREFIX):
+            desc = f"trace-event {resolved.constructor_of.rsplit('.', 1)[1]} field"
+            for i, roots in enumerate(site.arg_roots):
+                check(f"argument {i}", roots, desc)
+            for kw, roots in site.kwarg_roots.items():
+                check(f"argument {kw!r}", roots, desc)
+        return out

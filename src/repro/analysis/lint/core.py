@@ -32,12 +32,17 @@ __all__ = [
     "Finding",
     "Suppression",
     "ModuleContext",
+    "ProjectContext",
     "Rule",
+    "ProjectRule",
     "register",
+    "register_project",
     "get_rule",
     "all_rules",
+    "all_project_rules",
     "check_source",
     "check_paths",
+    "check_project_sources",
     "iter_python_files",
 ]
 
@@ -139,6 +144,7 @@ class ModuleContext:
     tree: ast.Module
     lines: Sequence[str]
     suppressions: dict[int, Suppression] = field(default_factory=dict)
+    source: str = ""  #: raw text (project rules feed it to the fact cache)
 
     def snippet(self, line: int) -> str:
         if 1 <= line <= len(self.lines):
@@ -148,8 +154,16 @@ class ModuleContext:
     def finding(
         self, rule: str, node: ast.AST, message: str
     ) -> Finding:
-        line = getattr(node, "lineno", 1)
-        col = getattr(node, "col_offset", 0)
+        return self.finding_at(
+            rule,
+            getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0),
+            message,
+        )
+
+    def finding_at(
+        self, rule: str, line: int, col: int, message: str
+    ) -> Finding:
         sup = self.suppressions.get(line)
         suppressed = sup is not None and sup.valid and sup.covers(rule)
         if suppressed and sup is not None:
@@ -164,6 +178,34 @@ class ModuleContext:
             suppressed=suppressed,
             suppress_reason=sup.reason if (suppressed and sup is not None) else "",
         )
+
+
+@dataclass
+class ProjectContext:
+    """Everything a whole-program rule needs: all module contexts.
+
+    Project rules see every checked module at once (the flow analyses
+    build a cross-module call graph), attach findings to individual
+    files through the same suppression machinery as per-module rules,
+    and share expensive intermediates through :attr:`memo` (the flow
+    program — symbol table + call graph — is built once per check run,
+    not once per rule).
+    """
+
+    modules: dict[str, ModuleContext]  #: repo-relative posix path -> ctx
+    root: Path | None = None  #: repo root (manifest + cache locations)
+    cache_dir: Path | None = None  #: override for the fact-cache dir
+    use_cache: bool = True
+    memo: dict = field(default_factory=dict)
+
+    def finding(
+        self, rule: str, path: str, line: int, col: int, message: str
+    ) -> Finding:
+        ctx = self.modules.get(path)
+        if ctx is not None:
+            return ctx.finding_at(rule, line, col, message)
+        # findings on non-module artifacts (e.g. the effects manifest)
+        return Finding(rule=rule, path=path, line=line, col=col, message=message)
 
 
 class Rule:
@@ -183,7 +225,18 @@ class Rule:
         raise NotImplementedError
 
 
+class ProjectRule:
+    """Base class for whole-program rules (one check over all modules)."""
+
+    id: str = ""
+    summary: str = ""
+
+    def check_project(self, pctx: ProjectContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
 _REGISTRY: dict[str, Rule] = {}
+_PROJECT_REGISTRY: dict[str, ProjectRule] = {}
 
 
 def register(cls: type[Rule]) -> type[Rule]:
@@ -197,6 +250,17 @@ def register(cls: type[Rule]) -> type[Rule]:
     return cls
 
 
+def register_project(cls: type[ProjectRule]) -> type[ProjectRule]:
+    """Class decorator: instantiate and add to the project registry."""
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"project rule {cls.__name__} has no id")
+    if rule.id in _PROJECT_REGISTRY or rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    _PROJECT_REGISTRY[rule.id] = rule
+    return cls
+
+
 def get_rule(rule_id: str) -> Rule:
     return _REGISTRY[rule_id]
 
@@ -207,6 +271,13 @@ def all_rules() -> list[Rule]:
     from repro.analysis.lint import rules as _rules  # noqa: F401
 
     return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def all_project_rules() -> list[ProjectRule]:
+    """Registered whole-program rules, sorted by id."""
+    from repro.analysis.flow import rules as _flow_rules  # noqa: F401
+
+    return [_PROJECT_REGISTRY[k] for k in sorted(_PROJECT_REGISTRY)]
 
 
 def check_source(
@@ -268,18 +339,28 @@ def check_paths(
     rules: Iterable[Rule] | None = None,
     root: Path | None = None,
     on_error: Callable[[Path, SyntaxError], None] | None = None,
+    project_rules: Iterable[ProjectRule] | None = None,
+    use_cache: bool = True,
+    cache_dir: str | Path | None = None,
 ) -> tuple[list[Finding], list[Suppression]]:
     """Check every Python file under ``paths``.
 
-    Returns ``(findings, unused_suppressions)``; findings include
-    suppressed ones (reporters and the baseline decide what counts).
-    Unparseable files are reported through ``on_error`` and skipped —
-    the linter must not crash on a file Python itself would reject,
-    because CI runs it before the test suite.
+    Two phases: per-module rules run file by file, then whole-program
+    rules (``project_rules``; default: all registered) run once over
+    every parsed module.  Unused suppressions are collected *after*
+    both phases, so a suppression consumed by a project rule counts as
+    used.  Returns ``(findings, unused_suppressions)``; findings
+    include suppressed ones (reporters and the baseline decide what
+    counts).  Unparseable files are reported through ``on_error`` and
+    skipped — the linter must not crash on a file Python itself would
+    reject, because CI runs it before the test suite.
     """
     selected = list(all_rules() if rules is None else rules)
+    proj_selected = list(
+        all_project_rules() if project_rules is None else project_rules
+    )
     findings: list[Finding] = []
-    unused: list[Suppression] = []
+    contexts: list[ModuleContext] = []
     for file in iter_python_files(paths):
         rel = relative_posix(file, root)
         try:
@@ -289,18 +370,63 @@ def check_paths(
             if on_error is not None:
                 on_error(file, exc)
             continue
-        lines = source.splitlines()
         ctx = ModuleContext(
             path=rel,
             tree=tree,
-            lines=lines,
+            lines=source.splitlines(),
             suppressions=parse_suppressions(source),
+            source=source,
         )
+        contexts.append(ctx)
         for rule in selected:
             if rule.applies(rel):
                 findings.extend(rule.check(ctx))
-        unused.extend(
-            s for s in ctx.suppressions.values() if s.valid and not s.used
+    if proj_selected:
+        pctx = ProjectContext(
+            modules={c.path: c for c in contexts},
+            root=root,
+            cache_dir=Path(cache_dir) if cache_dir is not None else None,
+            use_cache=use_cache,
         )
+        for prule in proj_selected:
+            findings.extend(prule.check_project(pctx))
+    unused = [
+        s
+        for ctx in contexts
+        for s in ctx.suppressions.values()
+        if s.valid and not s.used
+    ]
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings, unused
+
+
+def check_project_sources(
+    sources: dict[str, str],
+    project_rules: Iterable[ProjectRule] | None = None,
+    root: Path | None = None,
+) -> list[Finding]:
+    """Run whole-program rules over in-memory sources (for self-tests).
+
+    ``sources`` maps synthetic repo-relative paths (``src/repro/...``)
+    to module text.  The fact cache is disabled and, with no ``root``,
+    no effects manifest is consulted.
+    """
+    selected = list(
+        all_project_rules() if project_rules is None else project_rules
+    )
+    modules: dict[str, ModuleContext] = {}
+    for path in sorted(sources):
+        source = sources[path]
+        modules[path] = ModuleContext(
+            path=path,
+            tree=ast.parse(source, filename=path),
+            lines=source.splitlines(),
+            suppressions=parse_suppressions(source),
+            source=source,
+        )
+    pctx = ProjectContext(modules=modules, root=root, use_cache=False)
+    findings: list[Finding] = []
+    for prule in selected:
+        findings.extend(prule.check_project(pctx))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings

@@ -9,7 +9,7 @@ from typing import Sequence
 from repro.analysis.lint.baseline import fingerprint_findings
 from repro.analysis.lint.core import Finding, Suppression
 
-__all__ = ["render_text", "render_json"]
+__all__ = ["render_text", "render_json", "render_sarif"]
 
 
 def render_text(
@@ -92,3 +92,88 @@ def render_json(
         },
     }
     return json.dumps(doc, indent=2)
+
+
+def render_sarif(
+    new: Sequence[Finding],
+    baselined: Sequence[Finding] = (),
+    suppressed: Sequence[Finding] = (),
+    rules: Sequence[object] = (),
+) -> str:
+    """SARIF 2.1.0 report for CI code-scanning annotations.
+
+    New findings carry level ``error``, grandfathered ones ``note``
+    with ``baselineState: unchanged``; suppressed findings are included
+    with an in-source suppression record so annotation UIs hide them
+    without losing the audit trail.
+    """
+
+    def result(f: Finding, fp: str, level: str) -> dict[str, object]:
+        doc: dict[str, object] = {
+            "ruleId": f.rule,
+            "level": level,
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": f.col + 1,
+                            **({"snippet": {"text": f.snippet}} if f.snippet else {}),
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {"reproLint/v1": fp},
+        }
+        if f.suppressed:
+            doc["suppressions"] = [
+                {
+                    "kind": "inSource",
+                    "justification": f.suppress_reason,
+                }
+            ]
+        return doc
+
+    results: list[dict[str, object]] = []
+    for f, fp in fingerprint_findings(new):
+        results.append(result(f, fp, "error"))
+    for f, fp in fingerprint_findings(baselined):
+        doc = result(f, fp, "note")
+        doc["baselineState"] = "unchanged"
+        results.append(doc)
+    for f, fp in fingerprint_findings(suppressed):
+        results.append(result(f, fp, "note"))
+
+    sarif = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://example.invalid/repro-lint",
+                        "rules": [
+                            {
+                                "id": getattr(r, "id", ""),
+                                "shortDescription": {
+                                    "text": getattr(r, "summary", "")
+                                },
+                            }
+                            for r in rules
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(sarif, indent=2)

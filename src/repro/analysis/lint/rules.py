@@ -11,12 +11,14 @@ Each rule encodes one contract the library documents elsewhere:
                           and tracing costs nothing when disabled.
 ``vec-object-dtype``      Hot paths stay vectorized: no object arrays,
                           ``np.vectorize`` or ``np.append``.
-``api-seed-kwarg``        Public entry points thread an explicit seed and
-                          never bake one in.
 ``err-silent-except``     No silently swallowed exceptions.
-``store-key-purity``      Store-key derivation is a pure function of its
-                          inputs: no clock, RNG or entropy sources.
 ========================  =====================================================
+
+Seed threading and store-key purity were per-module rules here through
+PR 8 (``api-seed-kwarg``, ``store-key-purity``); they are now enforced
+by actual dataflow in the whole-program rules of
+:mod:`repro.analysis.flow.rules` (``flow-seed-provenance``,
+``flow-det-taint``, ``flow-effects``).
 
 Scoping is by repo-relative path (the linter is run from the repo
 root); fixture snippets in the self-tests pick their synthetic paths to
@@ -38,9 +40,7 @@ __all__ = [
     "DepRuntimeScipy",
     "ObsNeutrality",
     "VecObjectDtype",
-    "ApiSeedKwarg",
     "ErrSilentExcept",
-    "StoreKeyPurity",
 ]
 
 
@@ -548,84 +548,6 @@ class VecObjectDtype(Rule):
 
 
 @register
-class ApiSeedKwarg(Rule):
-    """Reproducibility is part of the public API: every stochastic entry
-    point takes the seed from its caller, and never bakes one in —
-    a literal default silently couples "I didn't think about seeding"
-    to "I always get the same draw"."""
-
-    id = "api-seed-kwarg"
-    summary = (
-        "public run*/sweep*/replicate*/simulate*/optimize*/search* module-level "
-        "entry points must take a seed/rng parameter (or the plural seeds/rngs "
-        "of batch entry points) and never default it to a literal int"
-    )
-
-    _PREFIXES = ("run", "sweep", "replicate", "simulate", "optimize", "search")
-
-    def applies(self, path: str) -> bool:
-        return _in_src_repro(path)
-
-    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
-        for node in ctx.tree.body:
-            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                continue
-            name = node.name
-            if name.startswith("_") or not name.startswith(self._PREFIXES):
-                continue
-            params = [
-                *node.args.posonlyargs,
-                *node.args.args,
-                *node.args.kwonlyargs,
-            ]
-            seedlike = [a for a in params if self._is_seed_param(a.arg)]
-            if not seedlike:
-                yield ctx.finding(
-                    self.id,
-                    node,
-                    f"public entry point {name}() takes no seed/rng parameter; "
-                    "thread one through so callers control reproducibility",
-                )
-                continue
-            for arg, default in self._defaults(node.args):
-                if self._is_seed_param(arg.arg) and self._is_literal_int(default):
-                    yield ctx.finding(
-                        self.id,
-                        default,
-                        f"{name}() defaults {arg.arg!r} to a literal int; "
-                        "require the seed (or default to None) so runs are "
-                        "reproducible on purpose, not by accident",
-                    )
-
-    @staticmethod
-    def _is_seed_param(name: str) -> bool:
-        # Plural forms cover replication-batched entry points, which
-        # take one seed (or generator) per replication.
-        return name in {"seed", "rng", "seeds", "rngs"} or name.endswith(
-            ("_seed", "_rng", "_seeds", "_rngs")
-        )
-
-    @staticmethod
-    def _defaults(args: ast.arguments) -> Iterator[tuple[ast.arg, ast.expr]]:
-        positional = [*args.posonlyargs, *args.args]
-        tail = positional[len(positional) - len(args.defaults) :]
-        yield from zip(tail, args.defaults, strict=True)
-        for arg, default in zip(args.kwonlyargs, args.kw_defaults, strict=True):
-            if default is not None:
-                yield arg, default
-
-    @staticmethod
-    def _is_literal_int(node: ast.expr) -> bool:
-        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
-            node = node.operand
-        return (
-            isinstance(node, ast.Constant)
-            and isinstance(node.value, int)
-            and not isinstance(node.value, bool)
-        )
-
-
-@register
 class ErrSilentExcept(Rule):
     """A swallowed exception turns a wrong answer into a quiet one.
     Catch narrowly, or handle visibly."""
@@ -672,71 +594,3 @@ class ErrSilentExcept(Rule):
                 continue  # docstring or bare ``...``
             return False
         return True
-
-
-@register
-class StoreKeyPurity(Rule):
-    """The result store serves a cached entry *instead of* running the
-    simulation, so a task key must be a pure function of the task: the
-    same ``(config, policy, seed, engine, ...)`` must hash identically
-    forever.  Anything nondeterministic in the key module — wall clock,
-    RNG, process entropy — would silently split the cache (every run a
-    miss) or, worse, collide runs that should differ.  Deterministic
-    stdlib imports (``hashlib``, ``json``, ``dataclasses``) are fine;
-    entropy sources are not."""
-
-    id = "store-key-purity"
-    summary = (
-        "store-key modules must not import or call entropy sources "
-        "(time, datetime, random, secrets, uuid, numpy.random, os.urandom)"
-    )
-
-    _SCOPE = ("src/repro/store/keys.py",)
-    _BANNED_MODULES: ClassVar[set[str]] = {
-        "time",
-        "datetime",
-        "random",
-        "secrets",
-        "uuid",
-        "numpy.random",
-    }
-
-    def applies(self, path: str) -> bool:
-        return path in self._SCOPE
-
-    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.Import):
-                for alias in node.names:
-                    if self._banned(alias.name):
-                        yield ctx.finding(
-                            self.id,
-                            node,
-                            f"import of {alias.name} in a store-key module; task "
-                            "keys must be pure functions of the task, with no "
-                            "clock or entropy source in reach",
-                        )
-            elif isinstance(node, ast.ImportFrom) and node.level == 0:
-                mod = node.module or ""
-                if self._banned(mod):
-                    yield ctx.finding(
-                        self.id,
-                        node,
-                        f"import from {mod} in a store-key module; task keys "
-                        "must be pure functions of the task, with no clock or "
-                        "entropy source in reach",
-                    )
-            elif isinstance(node, ast.Call):
-                name = _call_name(node.func)
-                if name in {"os.urandom", "urandom"}:
-                    yield ctx.finding(
-                        self.id,
-                        node,
-                        "os.urandom() in a store-key module; task keys must not "
-                        "mix in process entropy",
-                    )
-
-    def _banned(self, module: str) -> bool:
-        return module in self._BANNED_MODULES or any(
-            module.startswith(b + ".") for b in self._BANNED_MODULES
-        )

@@ -155,8 +155,8 @@ def default_probability_grid(step: float = 0.01) -> np.ndarray:
     return np.linspace(step, n * step, n)
 
 
-# repro: allow(api-seed-kwarg) — closed-form analytical sweep; the ring
-# recursion is deterministic and draws no random numbers.
+# Closed-form analytical sweep; the ring recursion is deterministic and
+# draws no random numbers, so there is no seed to thread.
 def sweep_metric(
     config: AnalysisConfig | RingModel,
     metric: str,

@@ -127,9 +127,9 @@ class TdmaFloodingResult:
     collisions: int
 
 
-# repro: allow(api-seed-kwarg) — TDMA flooding is deterministic: the
-# schedule is a greedy coloring and every informed node transmits exactly
-# once, so there is no randomness to seed (the deployment is the caller's).
+# TDMA flooding is deterministic: the schedule is a greedy coloring and
+# every informed node transmits exactly once, so there is no randomness
+# to seed (the deployment is the caller's).
 def run_tdma_flooding(
     deployment: DiskDeployment,
     *,

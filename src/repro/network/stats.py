@@ -90,7 +90,7 @@ def connectivity_probability(
     *,
     rho: float,
     n_rings: int,
-    seed: SeedLike = 0,
+    seed: SeedLike = None,
     trials: int = 20,
     radius: float = 1.0,
 ) -> float:

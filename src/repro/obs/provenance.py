@@ -235,6 +235,9 @@ def seed_from_manifest(manifest: dict) -> np.random.SeedSequence:
     entropy = info["entropy"]
     if isinstance(entropy, list):
         entropy = [int(e) for e in entropy]
+    # repro: allow(flow-seed-provenance) — replay boundary: the manifest
+    # *is* the recorded seed, so rebuilding from its entropy/spawn_key
+    # is how a past run's root seed re-enters the seed-typed world.
     return np.random.SeedSequence(
         entropy=entropy, spawn_key=tuple(int(k) for k in info.get("spawn_key", ()))
     )

@@ -8,7 +8,7 @@ makes grid sweeps survive being killed mid-run:
 
 * :mod:`repro.store.keys` — canonical, stable task keys (SHA-256 over
   a canonical JSON form; no wall clock or RNG may leak in, enforced by
-  the ``store-key-purity`` lint rule).
+  the ``flow-det-taint`` and ``flow-effects`` analyses).
 * :mod:`repro.store.backend` — :class:`DiskStore`: packed
   :class:`~repro.sim.results.RunResult` batches with atomic writes,
   per-entry checksums (corruption is detected and recomputed, never

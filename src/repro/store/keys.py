@@ -9,9 +9,10 @@ they come from :func:`~repro.sim.runner.replicate`, a pooled
 :func:`~repro.sim.runner.sweep_grid`, or the figure pipeline — address
 the same cache entry.
 
-Purity contract (enforced by the ``store-key-purity`` lint rule): key
-derivation reads nothing but its arguments — no wall clock, no RNG, no
-environment — otherwise a warm cache would silently stop matching.
+Purity contract (enforced by the whole-program ``flow-det-taint`` and
+``flow-effects`` analyses): key derivation reads nothing but its
+arguments — no wall clock, no RNG, no environment — otherwise a warm
+cache would silently stop matching.
 
 Invalidation is by construction: anything that can change the bytes of
 a result is *in* the key.  Bump :data:`RESULT_SCHEMA_VERSION` when the
@@ -133,7 +134,6 @@ def task_key(
     return hashlib.sha256(canonical_json(doc).encode("utf-8")).hexdigest()
 
 
-# repro: allow(api-seed-kwarg) — pure hash of already-seeded task keys; no randomness to thread
 def sweep_key(task_keys: Iterable[str] | Sequence[str]) -> str:
     """Fingerprint of a whole sweep: the hash of its ordered task keys.
 

@@ -131,7 +131,6 @@ class _Recorder:
             self.progress(self.done, self.total, fresh)
 
 
-# repro: allow(api-seed-kwarg) — executes caller-built tasks whose seeds are already inside them
 def run_tasks(
     execute: Callable[[Any], RunResult],
     tasks: Sequence[Any],

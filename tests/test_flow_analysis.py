@@ -1,0 +1,463 @@
+"""Whole-program flow analyses: call graph, provenance, taint, effects.
+
+Fixture projects are dicts of synthetic ``src/repro/...`` paths to
+module text; each analysis gets at least one true positive and one
+clean negative, and the resolver gets targeted tests for aliased
+imports, from-imports, inherited methods, and higher-order callables.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+from textwrap import dedent
+
+from repro.analysis.flow import (
+    CallGraph,
+    EffectInference,
+    Project,
+    extract_module,
+)
+from repro.analysis.lint.core import check_project_sources
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def build_graph(sources: dict[str, str]) -> tuple[Project, CallGraph]:
+    summaries = [
+        extract_module(ast.parse(dedent(text)), path)
+        for path, text in sorted(sources.items())
+    ]
+    project = Project(summaries)
+    return project, CallGraph(project)
+
+
+def flow_findings(sources: dict[str, str], rule: str) -> list:
+    hits = [
+        f
+        for f in check_project_sources({p: dedent(s) for p, s in sources.items()})
+        if f.rule == rule
+    ]
+    return [f for f in hits if not f.suppressed]
+
+
+class TestCallGraph:
+    def test_from_import_edge(self):
+        _, graph = build_graph(
+            {
+                "src/repro/util.py": """
+                    def helper(x):
+                        return x + 1
+                """,
+                "src/repro/main.py": """
+                    from repro.util import helper
+
+                    def entry(v):
+                        return helper(v)
+                """,
+            }
+        )
+        assert graph.edges["repro.main.entry"] == ["repro.util.helper"]
+
+    def test_aliased_from_import_edge(self):
+        _, graph = build_graph(
+            {
+                "src/repro/util.py": """
+                    def helper(x):
+                        return x
+                """,
+                "src/repro/main.py": """
+                    from repro.util import helper as h
+
+                    def entry(v):
+                        return h(v)
+                """,
+            }
+        )
+        assert graph.edges["repro.main.entry"] == ["repro.util.helper"]
+
+    def test_module_alias_dotted_call(self):
+        _, graph = build_graph(
+            {
+                "src/repro/util.py": """
+                    def helper(x):
+                        return x
+                """,
+                "src/repro/main.py": """
+                    import repro.util as u
+
+                    def entry(v):
+                        return u.helper(v)
+                """,
+            }
+        )
+        assert graph.edges["repro.main.entry"] == ["repro.util.helper"]
+
+    def test_inherited_method_resolves_through_mro(self):
+        _, graph = build_graph(
+            {
+                "src/repro/cls.py": """
+                    class Base:
+                        def ping(self):
+                            return 1
+
+                    class Child(Base):
+                        def run(self):
+                            return self.ping()
+                """,
+            }
+        )
+        assert graph.edges["repro.cls.Child.run"] == ["repro.cls.Base.ping"]
+
+    def test_constructor_edge_goes_to_init(self):
+        _, graph = build_graph(
+            {
+                "src/repro/cls.py": """
+                    class Thing:
+                        def __init__(self, n):
+                            self.n = n
+
+                    def make(n):
+                        return Thing(n)
+                """,
+            }
+        )
+        assert graph.edges["repro.cls.make"] == ["repro.cls.Thing.__init__"]
+
+    def test_higher_order_callable_edge(self):
+        project, graph = build_graph(
+            {
+                "src/repro/hof.py": """
+                    def work(v):
+                        return v * 2
+
+                    def apply(f, x):
+                        return f(x)
+
+                    def entry(x):
+                        return apply(work, x)
+                """,
+            }
+        )
+        assert "repro.hof.work" in project.param_callables.get(
+            ("repro.hof.apply", "f"), set()
+        )
+        assert "repro.hof.work" in graph.edges["repro.hof.apply"]
+
+    def test_reachability(self):
+        _, graph = build_graph(
+            {
+                "src/repro/chain.py": """
+                    def a():
+                        return b()
+
+                    def b():
+                        return c()
+
+                    def c():
+                        return 0
+
+                    def unrelated():
+                        return 1
+                """,
+            }
+        )
+        reach = graph.reachable_from(["repro.chain.a"])
+        assert "repro.chain.c" in reach
+        assert "repro.chain.unrelated" not in reach
+
+
+class TestSeedProvenance:
+    RULE = "flow-seed-provenance"
+
+    def test_implicit_entropy_triggers(self):
+        hits = flow_findings(
+            {
+                "src/repro/sim/x.py": """
+                    import numpy as np
+
+                    def run_x(n):
+                        rng = np.random.default_rng()
+                        return rng.random(n)
+                """,
+            },
+            self.RULE,
+        )
+        assert len(hits) == 1
+        assert "entropy" in hits[0].message
+
+    def test_hardcoded_literal_seed_triggers(self):
+        hits = flow_findings(
+            {
+                "src/repro/sim/x.py": """
+                    import numpy as np
+
+                    def run_x(n):
+                        rng = np.random.default_rng(1234)
+                        return rng.random(n)
+                """,
+            },
+            self.RULE,
+        )
+        assert len(hits) == 1
+
+    def test_literal_int_default_triggers(self):
+        hits = flow_findings(
+            {
+                "src/repro/sim/x.py": """
+                    import numpy as np
+
+                    def run_x(n, seed=7):
+                        rng = np.random.default_rng(seed)
+                        return rng.random(n)
+                """,
+            },
+            self.RULE,
+        )
+        assert len(hits) == 1
+        assert "literal int default" in hits[0].message
+
+    def test_threaded_seed_is_clean(self):
+        assert (
+            flow_findings(
+                {
+                    "src/repro/sim/x.py": """
+                        import numpy as np
+
+                        def run_x(n, seed=None):
+                            rng = np.random.default_rng(seed)
+                            return rng.random(n)
+                    """,
+                },
+                self.RULE,
+            )
+            == []
+        )
+
+    def test_interprocedural_seed_is_clean(self):
+        # The helper's parameter is not seed-named; it is seed-derived
+        # because every project call site binds it to one.
+        assert (
+            flow_findings(
+                {
+                    "src/repro/sim/x.py": """
+                        import numpy as np
+
+                        def _mk(s0):
+                            return np.random.default_rng(s0)
+
+                        def run_x(n, seed=None):
+                            return _mk(seed).random(n)
+                    """,
+                },
+                self.RULE,
+            )
+            == []
+        )
+
+    def test_spawned_children_are_clean(self):
+        assert (
+            flow_findings(
+                {
+                    "src/repro/sim/x.py": """
+                        import numpy as np
+
+                        def run_x(seed=None):
+                            root = np.random.SeedSequence(seed)
+                            return [np.random.default_rng(c) for c in root.spawn(3)]
+                    """,
+                },
+                self.RULE,
+            )
+            == []
+        )
+
+    def test_unseeded_helper_param_triggers(self):
+        hits = flow_findings(
+            {
+                "src/repro/sim/x.py": """
+                    import numpy as np
+
+                    def _mk(s0):
+                        return np.random.default_rng(s0)
+
+                    def run_x(n):
+                        return _mk(n * 2).random()
+                """,
+            },
+            self.RULE,
+        )
+        assert len(hits) == 1
+
+
+class TestDeterminismTaint:
+    RULE = "flow-det-taint"
+
+    KEYS_MODULE = """
+        def task_key(payload):
+            return str(payload)
+    """
+
+    def test_wallclock_into_store_key_triggers(self):
+        hits = flow_findings(
+            {
+                "src/repro/store/keys.py": self.KEYS_MODULE,
+                "src/repro/sim/y.py": """
+                    import time
+
+                    from repro.store.keys import task_key
+
+                    def run_y():
+                        t = time.time()
+                        return task_key(t)
+                """,
+            },
+            self.RULE,
+        )
+        assert len(hits) == 1
+        assert "wallclock" in hits[0].message
+
+    def test_address_taint_through_helper_triggers(self):
+        hits = flow_findings(
+            {
+                "src/repro/store/keys.py": self.KEYS_MODULE,
+                "src/repro/sim/y.py": """
+                    from repro.store.keys import task_key
+
+                    def _label(obj):
+                        return id(obj)
+
+                    def run_y(obj):
+                        return task_key(_label(obj))
+                """,
+            },
+            self.RULE,
+        )
+        assert len(hits) == 1
+
+    def test_sorted_set_is_clean(self):
+        assert (
+            flow_findings(
+                {
+                    "src/repro/store/keys.py": self.KEYS_MODULE,
+                    "src/repro/sim/y.py": """
+                        from repro.store.keys import task_key
+
+                        def run_y(names):
+                            pending = {n for n in names}
+                            return task_key(sorted(pending))
+                    """,
+                },
+                self.RULE,
+            )
+            == []
+        )
+
+    def test_materialized_set_order_triggers(self):
+        hits = flow_findings(
+            {
+                "src/repro/store/keys.py": self.KEYS_MODULE,
+                "src/repro/sim/y.py": """
+                    from repro.store.keys import task_key
+
+                    def run_y(names):
+                        pending = {n for n in names}
+                        return task_key(list(pending))
+                """,
+            },
+            self.RULE,
+        )
+        assert len(hits) == 1
+        assert "set" in hits[0].message
+
+
+class TestEffects:
+    RULE = "flow-effects"
+
+    def test_io_in_key_module_violates_contract(self):
+        hits = flow_findings(
+            {
+                "src/repro/store/keys.py": """
+                    def task_key(payload):
+                        with open("/tmp/keys.log", "a") as fh:
+                            fh.write(str(payload))
+                        return str(payload)
+                """,
+            },
+            self.RULE,
+        )
+        assert len(hits) == 1
+        assert "io" in hits[0].message
+
+    def test_pure_key_module_is_clean(self):
+        assert (
+            flow_findings(
+                {
+                    "src/repro/store/keys.py": """
+                        import hashlib
+
+                        def task_key(payload):
+                            return hashlib.sha256(payload.encode()).hexdigest()
+                    """,
+                },
+                self.RULE,
+            )
+            == []
+        )
+
+    def test_inferred_manifest_lists_impure_functions(self):
+        project, graph = build_graph(
+            {
+                "src/repro/eff.py": """
+                    import time
+
+                    def stamp():
+                        return time.time()
+
+                    def caller():
+                        return stamp()
+
+                    def pure(x):
+                        return x + 1
+                """,
+            }
+        )
+        inf = EffectInference(project, graph)
+        manifest = inf.manifest()
+        assert manifest["repro.eff.stamp"] == ["time"]
+        assert manifest["repro.eff.caller"] == ["time"]
+        assert "repro.eff.pure" not in manifest
+
+    def test_rng_effect_from_generator_draws(self):
+        project, graph = build_graph(
+            {
+                "src/repro/eff.py": """
+                    def draw(rng):
+                        return rng.normal()
+                """,
+            }
+        )
+        manifest = EffectInference(project, graph).manifest()
+        assert manifest["repro.eff.draw"] == ["rng"]
+
+
+class TestCommittedManifest:
+    def test_committed_effects_manifest_matches_inference(self):
+        """The committed manifest must track inference exactly (the CI
+        drift gate); this also pins the file's existence."""
+        from repro.analysis.flow.rules import (
+            EFFECTS_MANIFEST_NAME,
+            effects_manifest_for_paths,
+        )
+
+        manifest_path = REPO_ROOT / EFFECTS_MANIFEST_NAME
+        assert manifest_path.exists(), "effects-manifest.json must be committed"
+        committed = json.loads(manifest_path.read_text(encoding="utf-8"))
+        inferred = effects_manifest_for_paths(
+            [str(REPO_ROOT / "src")], root=REPO_ROOT, use_cache=False
+        )
+        assert committed == inferred, (
+            "effects-manifest.json is stale; regenerate with "
+            "`python -m repro.analysis src --write-effects`"
+        )

@@ -169,3 +169,116 @@ class TestJsonReport:
         doc = json.loads(capsys.readouterr().out)
         assert doc["counts"] == {"new": 0, "baselined": 0, "suppressed": 0}
         assert doc["files_checked"] == 1
+
+
+SEEDED = """
+    import numpy as np
+
+    def run_mod(n, seed=None):
+        rng = np.random.default_rng(seed)
+        return rng.random(n)
+"""
+
+UNSEEDED = """
+    import numpy as np
+
+    def run_mod(n):
+        rng = np.random.default_rng()
+        return rng.random(n)
+"""
+
+
+class TestSarifReport:
+    def test_sarif_output_is_valid(self, repo, capsys):
+        write(repo, "src/repro/sim/mod.py", VIOLATION)
+        assert main(["--format", "sarif", "src"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        (run,) = doc["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"det-global-rng", "flow-seed-provenance"} <= rule_ids
+        (res,) = run["results"]
+        assert res["ruleId"] == "det-global-rng"
+        assert res["level"] == "error"
+        assert res["partialFingerprints"]["reproLint/v1"]
+        loc = res["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "src/repro/sim/mod.py"
+        assert loc["region"]["startColumn"] >= 1
+
+    def test_sarif_suppressed_finding_carries_justification(self, repo, capsys):
+        write(repo, "src/repro/sim/mod.py", SUPPRESSED)
+        assert main(["--format", "sarif", "src"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        (res,) = doc["runs"][0]["results"]
+        assert res["level"] == "note"
+        (sup,) = res["suppressions"]
+        assert sup["kind"] == "inSource"
+        assert "legacy API" in sup["justification"]
+
+    def test_flow_finding_reported_in_sarif(self, repo, capsys):
+        write(repo, "src/repro/sim/mod.py", UNSEEDED)
+        assert main(["--format", "sarif", "src"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert {r["ruleId"] for r in doc["runs"][0]["results"]} == {
+            "flow-seed-provenance"
+        }
+
+
+class TestIncrementalCache:
+    def test_warm_run_is_byte_identical_to_cold(self, repo, capsys):
+        write(repo, "src/repro/sim/mod.py", SEEDED)
+        assert main(["--format", "json", "src"]) == 0
+        cold = capsys.readouterr().out
+        cache = repo / ".repro-lint-cache"
+        assert cache.is_dir() and list(cache.iterdir())
+        assert main(["--format", "json", "src"]) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+
+    def test_no_cache_flag_skips_cache_dir(self, repo):
+        write(repo, "src/repro/sim/mod.py", SEEDED)
+        assert main(["--no-cache", "src"]) == 0
+        assert not (repo / ".repro-lint-cache").exists()
+
+    def test_cache_dir_override(self, repo):
+        write(repo, "src/repro/sim/mod.py", SEEDED)
+        assert main(["--cache-dir", str(repo / "alt-cache"), "src"]) == 0
+        assert (repo / "alt-cache").is_dir()
+        assert not (repo / ".repro-lint-cache").exists()
+
+    def test_corrupt_cache_entry_is_tolerated(self, repo, capsys):
+        write(repo, "src/repro/sim/mod.py", SEEDED)
+        assert main(["--format", "json", "src"]) == 0
+        cold = capsys.readouterr().out
+        for entry in (repo / ".repro-lint-cache").iterdir():
+            entry.write_text("{not json", encoding="utf-8")
+        assert main(["--format", "json", "src"]) == 0
+        assert capsys.readouterr().out == cold
+
+    def test_stale_entry_refreshes_on_edit(self, repo, capsys):
+        write(repo, "src/repro/sim/mod.py", SEEDED)
+        assert main(["src"]) == 0
+        capsys.readouterr()
+        write(repo, "src/repro/sim/mod.py", UNSEEDED)
+        assert main(["src"]) == 1
+        assert "flow-seed-provenance" in capsys.readouterr().out
+
+
+class TestWriteEffects:
+    def test_write_effects_emits_manifest(self, repo, capsys):
+        write(
+            repo,
+            "src/repro/sim/mod.py",
+            """
+            import time
+
+            def run_mod(n, seed=None):
+                return time.time() + n
+            """,
+        )
+        assert main(["--write-effects", "src"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        doc = json.loads((repo / "effects-manifest.json").read_text())
+        assert doc["repro.sim.mod.run_mod"] == ["time"]

@@ -26,10 +26,25 @@ class TestRegistry:
             "dep-runtime-scipy",
             "obs-neutrality",
             "vec-object-dtype",
-            "api-seed-kwarg",
             "err-silent-except",
-            "store-key-purity",
         } <= ids
+
+    def test_project_rules_registered(self):
+        from repro.analysis.lint.core import all_project_rules
+
+        ids = {r.id for r in all_project_rules()}
+        assert {
+            "flow-seed-provenance",
+            "flow-det-taint",
+            "flow-effects",
+        } <= ids
+
+    def test_superseded_rules_gone(self):
+        # api-seed-kwarg and store-key-purity graduated to the
+        # whole-program flow analyses in PR 9.
+        ids = {r.id for r in all_rules()}
+        assert "api-seed-kwarg" not in ids
+        assert "store-key-purity" not in ids
 
     def test_rules_have_summaries(self):
         for rule in all_rules():
@@ -434,127 +449,6 @@ class TestVecObjectDtype:
         assert findings(src, "src/repro/models/packet.py", self.RULE) == []
 
 
-class TestApiSeedKwarg:
-    RULE = "api-seed-kwarg"
-
-    def test_missing_seed_triggers(self):
-        src = """
-            def run_study(config):
-                return config
-        """
-        assert len(findings(src, "src/repro/sim/runner.py", self.RULE)) == 1
-
-    def test_literal_int_default_triggers(self):
-        src = """
-            def sweep_densities(grid, seed=1234):
-                return grid
-        """
-        assert len(findings(src, "src/repro/sim/runner.py", self.RULE)) == 1
-
-    def test_keyword_only_literal_default_triggers(self):
-        src = """
-            def replicate_runs(config, *, seed=0):
-                return config
-        """
-        assert len(findings(src, "src/repro/sim/runner.py", self.RULE)) == 1
-
-    def test_optimize_prefix_missing_seed_triggers(self):
-        src = """
-            def optimize_probability(config):
-                return config
-        """
-        assert len(findings(src, "src/repro/optimize/api.py", self.RULE)) == 1
-
-    def test_search_prefix_literal_default_triggers(self):
-        src = """
-            def search_frontier(evaluate, ladder, seed=42):
-                return ladder
-        """
-        assert len(findings(src, "src/repro/optimize/search.py", self.RULE)) == 1
-
-    def test_seed_param_ok(self):
-        src = """
-            def run_study(config, seed):
-                return config, seed
-        """
-        assert findings(src, "src/repro/sim/runner.py", self.RULE) == []
-
-    def test_rng_param_with_none_default_ok(self):
-        src = """
-            def simulate_field(config, rng=None):
-                return config
-        """
-        assert findings(src, "src/repro/sim/runner.py", self.RULE) == []
-
-    def test_private_function_ok(self):
-        src = """
-            def _run_inner(config):
-                return config
-        """
-        assert findings(src, "src/repro/sim/runner.py", self.RULE) == []
-
-    def test_method_ok(self):
-        """Methods get their seed at construction; only module-level
-        entry points are the public seams the rule guards."""
-        src = """
-            class Engine:
-                def run(self):
-                    return None
-        """
-        assert findings(src, "src/repro/sim/desimpl.py", self.RULE) == []
-
-    def test_unrelated_name_ok(self):
-        src = """
-            def resolve_slot(tx):
-                return tx
-        """
-        assert findings(src, "src/repro/sim/runner.py", self.RULE) == []
-
-    def test_out_of_scope_path_ok(self):
-        src = """
-            def run_bench(config):
-                return config
-        """
-        assert findings(src, "benchmarks/bench_x.py", self.RULE) == []
-
-    def test_plural_seeds_param_ok(self):
-        """Batch entry points take one seed per replication; the plural
-        satisfies the rule just like the singular."""
-        src = """
-            def run_broadcast_batch(policy, config, seeds):
-                return policy, config, seeds
-        """
-        assert findings(src, "src/repro/sim/engine.py", self.RULE) == []
-
-    def test_plural_rngs_param_ok(self):
-        src = """
-            def simulate_block(config, *, rngs):
-                return config
-        """
-        assert findings(src, "src/repro/sim/engine.py", self.RULE) == []
-
-    def test_suffixed_plural_ok(self):
-        src = """
-            def sweep_blocks(grid, child_seeds):
-                return grid
-        """
-        assert findings(src, "src/repro/sim/runner.py", self.RULE) == []
-
-    def test_batch_entry_point_without_seeds_still_triggers(self):
-        src = """
-            def run_broadcast_batch(policy, config, n_reps):
-                return policy, config
-        """
-        assert len(findings(src, "src/repro/sim/engine.py", self.RULE)) == 1
-
-    def test_literal_default_on_seeds_triggers(self):
-        src = """
-            def replicate_block(config, seeds=1234):
-                return config
-        """
-        assert len(findings(src, "src/repro/sim/runner.py", self.RULE)) == 1
-
-
 class TestErrSilentExcept:
     RULE = "err-silent-except"
 
@@ -603,60 +497,6 @@ class TestErrSilentExcept:
                 pass
         """
         assert findings(src, "tests/test_x.py", self.RULE) == []
-
-
-class TestStoreKeyPurity:
-    RULE = "store-key-purity"
-    PATH = "src/repro/store/keys.py"
-
-    def test_time_import_triggers(self):
-        src = """
-            import time
-            stamp = time.monotonic()
-        """
-        assert len(findings(src, self.PATH, self.RULE)) == 1
-
-    def test_from_datetime_import_triggers(self):
-        src = """
-            from datetime import datetime
-        """
-        assert len(findings(src, self.PATH, self.RULE)) == 1
-
-    def test_uuid_and_secrets_trigger(self):
-        src = """
-            import uuid
-            import secrets
-        """
-        assert len(findings(src, self.PATH, self.RULE)) == 2
-
-    def test_numpy_random_import_triggers(self):
-        src = """
-            from numpy.random import default_rng
-        """
-        assert len(findings(src, self.PATH, self.RULE)) == 1
-
-    def test_os_urandom_triggers(self):
-        src = """
-            import os
-            salt = os.urandom(16)
-        """
-        assert len(findings(src, self.PATH, self.RULE)) == 1
-
-    def test_deterministic_imports_ok(self):
-        src = """
-            import hashlib
-            import json
-            from dataclasses import asdict, fields, is_dataclass
-            import numpy as np
-        """
-        assert findings(src, self.PATH, self.RULE) == []
-
-    def test_out_of_scope_ok(self):
-        src = """
-            import time
-            stamp = time.monotonic()
-        """
-        assert findings(src, "src/repro/store/gc.py", self.RULE) == []
 
 
 class TestSuppressions:

@@ -69,10 +69,10 @@ class TestIsolationTheory:
 
 class TestConnectivityProbability:
     def test_paper_densities_connected(self):
-        assert connectivity_probability(rho=25, n_rings=3, trials=8) == 1.0
+        assert connectivity_probability(rho=25, n_rings=3, trials=8, seed=0) == 1.0
 
     def test_sparse_networks_disconnect(self):
-        assert connectivity_probability(rho=2, n_rings=3, trials=8) < 0.5
+        assert connectivity_probability(rho=2, n_rings=3, trials=8, seed=0) < 0.5
 
     def test_monotone_between_extremes(self):
         lo = connectivity_probability(rho=3, n_rings=3, trials=12, seed=1)
