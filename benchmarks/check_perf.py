@@ -48,6 +48,20 @@ HARD_LIMITS: dict[str, float] = {
     # Whole-program lint pass (warm summary cache) over src/: must stay
     # cheap enough to run as a pre-commit habit.
     "benchmarks/bench_perf_lint.py::test_analyzer_warm_cache_src": 5.0,
+    # Warm serve queries answer from the read-through memory tier; the
+    # single-digit-millisecond budget is the serving-tier claim
+    # (``repro-serve --bench`` merges this key).
+    "serve.bench.warm_p50_s": 0.005,
+}
+
+#: Lower bounds (dimensionless ratios, NOT seconds), enforced with no
+#: tolerance: these guard "the mechanism engages at all" claims.  A
+#: tracked key missing from ``current`` fails, same as HARD_LIMITS.
+HARD_FLOORS: dict[str, float] = {
+    # The benchmark workload holds duplicate queries in flight
+    # together; if single-flight coalescing stops engaging, the ratio
+    # collapses to 1.0.
+    "serve.bench.cold_coalescing_ratio": 1.5,
 }
 
 
@@ -104,6 +118,22 @@ def check(data: dict, tolerance: float) -> list[str]:
             failures.append(
                 f"{key}: median {cur:.6g}s exceeds the absolute budget "
                 f"{limit:.6g}s"
+            )
+    for key, floor in sorted(HARD_FLOORS.items()):
+        cur = current.get(key)
+        if cur is None:
+            failures.append(
+                f"{key}: tracked in HARD_FLOORS but absent from 'current'"
+            )
+            continue
+        ok = cur >= floor
+        print(
+            f"{'ok  ' if ok else 'FAIL'} {key}\n"
+            f"     current {cur:.6g} vs hard floor {floor:.6g}"
+        )
+        if not ok:
+            failures.append(
+                f"{key}: value {cur:.6g} fell below the floor {floor:.6g}"
             )
     return failures
 

@@ -213,6 +213,7 @@ DUCK_BLOCKLIST = frozenset(
         "mean",
         "close",
         "reset",
+        "run",
         "clear",
         "update",
         "append",
@@ -271,6 +272,12 @@ CONTRACTS: tuple[tuple[str, frozenset[str], str], ...] = (
         "repro.collision.",
         frozenset(),
         "collision tables are deterministic DP over model parameters",
+    ),
+    (
+        "repro.serve.",
+        frozenset({"io", "time"}),
+        "the serve tier stores, waits, and measures but never draws "
+        "randomness; all compute crosses the repro.serve.compute bridge",
     ),
 )
 

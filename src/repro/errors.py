@@ -19,6 +19,7 @@ __all__ = [
     "StoreError",
     "StoreCorruptionError",
     "SchedulerError",
+    "ServeError",
 ]
 
 
@@ -91,10 +92,26 @@ class SchedulerError(StoreError):
     Everything that *did* complete has already been persisted to the
     store and journaled, so re-running the same sweep (``resume=True``)
     only retries the failed tasks.  ``failures`` holds ``(task_index,
-    key, exception)`` triples.
+    key, exception)`` triples; ``attempts`` is how many execution
+    rounds each surviving failure went through (retries + 1 unless the
+    task appeared mid-sweep).
     """
 
-    def __init__(self, message: str, failures: tuple = ()) -> None:
+    def __init__(
+        self, message: str, failures: tuple = (), attempts: int = 0
+    ) -> None:
         super().__init__(message)
         #: tuple of ``(task_index, key, exception)``
         self.failures = tuple(failures)
+        #: execution rounds the failing tasks went through
+        self.attempts = int(attempts)
+
+
+class ServeError(ReproError):
+    """A serve-tier request failed: malformed wire input, a timeout
+    after bounded retry, or a shut-down service.
+
+    Scheduler-level failures surface as :class:`SchedulerError` even
+    through the service — the serve tier adds request/transport
+    failure modes, it does not re-wrap compute ones.
+    """

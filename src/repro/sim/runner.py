@@ -42,13 +42,13 @@ from repro.utils.rng import SeedLike, as_seed_sequence
 from repro.utils.validation import check_in, check_positive_int
 
 if TYPE_CHECKING:
-    from repro.store.backend import DiskStore
+    from repro.store.backend import StoreBackend
 
 __all__ = ["replicate", "simulate_pb", "sweep_grid"]
 
-#: Accepted forms of the ``store=`` argument: an opened store, a
-#: directory path, or ``None`` (no caching).
-StoreLike = Union["DiskStore", str, "os.PathLike[str]", None]
+#: Accepted forms of the ``store=`` argument: an opened backend
+#: (classic or sharded), a directory path, or ``None`` (no caching).
+StoreLike = Union["StoreBackend", str, "os.PathLike[str]", None]
 
 #: Accepted forms of the ``manifest_dir=`` argument.
 PathLike = Union[str, "os.PathLike[str]", None]
@@ -152,21 +152,22 @@ def _block_assignment(groups: Sequence[int], block_size: int) -> list[int]:
     return block_of
 
 
-def _open_store(store: StoreLike) -> "DiskStore | None":
+def _open_store(store: StoreLike) -> "StoreBackend | None":
     """Normalize the ``store=`` argument (lazy import keeps cold start lean)."""
     if store is None:
         return None
-    from repro.store.backend import DiskStore
+    from repro.store.backend import DiskStore, ShardedBackend, open_store
 
-    if isinstance(store, DiskStore):
+    if isinstance(store, (DiskStore, ShardedBackend)):
         return store
-    return DiskStore(store)
+    # A path opens as whatever layout its marker declares.
+    return open_store(store)
 
 
 def _run_task_list(
     tasks: list[tuple],
     keys: list[str] | None,
-    store: "DiskStore | None",
+    store: "StoreBackend | None",
     resume: bool,
     workers: int | None,
     retries: int,

@@ -12,9 +12,15 @@ makes grid sweeps survive being killed mid-run:
 * :mod:`repro.store.backend` — :class:`DiskStore`: packed
   :class:`~repro.sim.results.RunResult` batches with atomic writes,
   per-entry checksums (corruption is detected and recomputed, never
-  served) and an advisory index.
+  served) and an advisory index; :class:`ShardedBackend`: the same
+  entry format fanned across 16 hex-prefix shards with per-shard write
+  logs and advisory locks, safe under concurrent schedulers
+  (:func:`open_store` sniffs the layout, :func:`migrate_store` /
+  ``repro-store migrate`` converts bit-identically).
 * :mod:`repro.store.journal` — append-only per-sweep completion
-  journals; a killed sweep resumes from where it died.
+  journals (a killed sweep resumes from where it died), plus the
+  per-shard segmented write logs and ``flock`` file locks behind the
+  sharded backend.
 * :mod:`repro.store.scheduler` — :func:`run_tasks`, the cache-aware
   executor behind ``replicate(..., store=)`` / ``sweep_grid(...,
   store=)``: hits served, misses pooled, completions persisted as they
@@ -28,9 +34,17 @@ mid-sweep; the only difference on a cached result is that the
 telemetry-only ``metrics`` field comes back ``None``.
 """
 
-from repro.store.backend import DiskStore, pack_result, unpack_result
+from repro.store.backend import (
+    DiskStore,
+    ShardedBackend,
+    StoreBackend,
+    migrate_store,
+    open_store,
+    pack_result,
+    unpack_result,
+)
 from repro.store.gc import GcReport, collect_garbage
-from repro.store.journal import SweepJournal
+from repro.store.journal import FileLock, ShardJournal, SweepJournal
 from repro.store.keys import (
     RESULT_SCHEMA_VERSION,
     canonical_json,
@@ -42,11 +56,17 @@ from repro.store.scheduler import run_tasks
 
 __all__ = [
     "DiskStore",
+    "ShardedBackend",
+    "StoreBackend",
+    "open_store",
+    "migrate_store",
     "pack_result",
     "unpack_result",
     "GcReport",
     "collect_garbage",
     "SweepJournal",
+    "FileLock",
+    "ShardJournal",
     "RESULT_SCHEMA_VERSION",
     "canonical_json",
     "seed_fingerprint",

@@ -6,6 +6,13 @@ Subcommands::
     python -m repro.store verify DIR [--delete]
     python -m repro.store gc DIR [--max-bytes N] [--max-age-days D] [--dry-run]
     python -m repro.store invalidate DIR (--all | PREFIX [PREFIX ...])
+    python -m repro.store migrate SRC DST
+
+Every subcommand opens the directory as whichever backend its marker
+declares (classic or sharded); ``stats`` adds a per-shard breakdown on
+sharded stores and degrades to the flat report on legacy ones.
+``migrate`` copies a classic store into a fresh sharded one
+bit-identically (entries are copied verbatim, checksums included).
 
 Exit codes: 0 success, 1 problems found (corrupt entries, nothing
 matched), 2 usage errors.
@@ -18,7 +25,7 @@ import json
 import sys
 
 from repro.errors import StoreError
-from repro.store.backend import DiskStore
+from repro.store.backend import StoreBackend, migrate_store, open_store
 from repro.store.gc import collect_garbage
 
 __all__ = ["main"]
@@ -55,20 +62,33 @@ def _build_parser() -> argparse.ArgumentParser:
     p_inv.add_argument("store", help="store directory")
     p_inv.add_argument("prefixes", nargs="*", help="hex key prefixes to drop")
     p_inv.add_argument("--all", action="store_true", help="drop every entry")
+
+    p_mig = sub.add_parser(
+        "migrate", help="copy a classic store into a fresh sharded one"
+    )
+    p_mig.add_argument("store", help="source store directory (classic layout)")
+    p_mig.add_argument("dst", help="destination directory (must not exist)")
     return parser
 
 
-def _cmd_stats(store: DiskStore, args: argparse.Namespace) -> int:
+def _cmd_stats(store: StoreBackend, args: argparse.Namespace) -> int:
     stats = store.stats()
     if args.json:
         print(json.dumps(stats, indent=2, sort_keys=True))
     else:
-        for k in ("root", "entries", "nbytes", "journals"):
+        for k in ("root", "schema", "entries", "nbytes", "journals"):
             print(f"{k}: {stats[k]}")
+        # Sharded stores break totals down; legacy stores have no row.
+        for name, shard in sorted(stats.get("shards", {}).items()):
+            print(
+                f"shard {name}: {shard['entries']} entries, "
+                f"{shard['nbytes']} bytes, "
+                f"{shard['journal_segments']} journal segments"
+            )
     return 0
 
 
-def _cmd_verify(store: DiskStore, args: argparse.Namespace) -> int:
+def _cmd_verify(store: StoreBackend, args: argparse.Namespace) -> int:
     bad = store.verify()
     total = sum(1 for _ in store.keys())
     if not bad:
@@ -85,7 +105,7 @@ def _cmd_verify(store: DiskStore, args: argparse.Namespace) -> int:
     return 1
 
 
-def _cmd_gc(store: DiskStore, args: argparse.Namespace) -> int:
+def _cmd_gc(store: StoreBackend, args: argparse.Namespace) -> int:
     max_age_s = None if args.max_age_days is None else args.max_age_days * 86400.0
     report = collect_garbage(
         store,
@@ -97,7 +117,7 @@ def _cmd_gc(store: DiskStore, args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_invalidate(store: DiskStore, args: argparse.Namespace) -> int:
+def _cmd_invalidate(store: StoreBackend, args: argparse.Namespace) -> int:
     if args.all == bool(args.prefixes):
         print("invalidate: pass either --all or at least one prefix", file=sys.stderr)
         return 2
@@ -113,11 +133,26 @@ def _cmd_invalidate(store: DiskStore, args: argparse.Namespace) -> int:
     return 0 if doomed or args.all else 1
 
 
+def _cmd_migrate(args: argparse.Namespace) -> int:
+    try:
+        report = migrate_store(args.store, args.dst)
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"migrated {report['entries']} entries ({report['nbytes']} bytes), "
+        f"{report['journals']} sweep journals -> {report['dst']}"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+    if args.command == "migrate":
+        return _cmd_migrate(args)
     try:
-        store = DiskStore(args.store)
+        store = open_store(args.store)
     except StoreError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -18,7 +18,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.store.backend import DiskStore
+from repro.store.backend import StoreBackend
 
 __all__ = ["GcReport", "collect_garbage"]
 
@@ -43,7 +43,7 @@ class GcReport:
 
 
 def collect_garbage(
-    store: DiskStore,
+    store: StoreBackend,
     *,
     max_bytes: int | None = None,
     max_age_s: float | None = None,
@@ -102,8 +102,9 @@ def collect_garbage(
     if not dry_run:
         for key in doomed:
             store.delete(key)
-        for tmp in store.objects_dir.rglob("*.tmp"):
-            tmp.unlink(missing_ok=True)
+        for objects_dir in store.objects_dirs:
+            for tmp in objects_dir.rglob("*.tmp"):
+                tmp.unlink(missing_ok=True)
         store.flush_index()
 
     return GcReport(

@@ -28,6 +28,7 @@ hoisted-guard convention of the engines.
 
 from __future__ import annotations
 
+import time
 from functools import partial
 from typing import Any, Callable, Sequence
 
@@ -37,7 +38,7 @@ from repro.obs import spans as obs_spans
 from repro.obs import trace as obs_trace
 from repro.obs.events import StoreAccess
 from repro.sim.results import RunResult
-from repro.store.backend import DiskStore
+from repro.store.backend import StoreBackend
 from repro.store.journal import SweepJournal
 from repro.store.keys import sweep_key
 from repro.utils.parallel import TaskFailure, parallel_map
@@ -80,7 +81,7 @@ class _Recorder:
 
     def __init__(
         self,
-        store: DiskStore | None,
+        store: StoreBackend | None,
         journal: SweepJournal | None,
         keys: Sequence[str],
         total: int,
@@ -136,10 +137,11 @@ def run_tasks(
     tasks: Sequence[Any],
     keys: Sequence[str],
     *,
-    store: DiskStore | None = None,
+    store: StoreBackend | None = None,
     resume: bool = False,
     workers: int | None = 1,
     retries: int = 1,
+    backoff: float = 0.05,
     progress: ProgressHook | None = None,
     batch_execute: Callable[[Sequence[Any]], Sequence[RunResult]] | None = None,
     block_of: Sequence[int] | None = None,
@@ -163,9 +165,10 @@ def run_tasks(
         strategy, never part of a task's identity.  Retry rounds fall
         back to ``execute`` per task, isolating any member that fails.
     store:
-        The result store; ``None`` degrades to plain
-        :func:`~repro.utils.parallel.parallel_map` semantics (still
-        with per-task capture and retry).
+        The result store — classic :class:`~repro.store.backend.DiskStore`
+        or :class:`~repro.store.backend.ShardedBackend`; ``None``
+        degrades to plain :func:`~repro.utils.parallel.parallel_map`
+        semantics (still with per-task capture and retry).
     resume:
         Reuse this sweep's existing journal, appending to it, instead
         of starting a fresh one.  Correctness never depends on the
@@ -175,6 +178,12 @@ def run_tasks(
         As in :func:`~repro.utils.parallel.parallel_map`.
     retries:
         Extra execution rounds for failed tasks before giving up.
+    backoff:
+        Base delay (seconds) before retry round ``k``, growing as
+        ``backoff * 2**(k-1)`` — a deterministic, jitter-free schedule
+        (same sweep, same delays), so transient contention (a busy
+        shard lock, an exhausted pool) gets room to clear without
+        hammering.  ``0`` restores immediate re-execution.
     progress:
         ``progress(done, total, recent_results)`` hook; ``done`` counts
         hits and completions together.
@@ -261,11 +270,18 @@ def run_tasks(
     recorder = _Recorder(store, journal, keys, n, hits, progress)
     pending = missing
     failures: list[TaskFailure] = []
+    rounds = 0
     for attempt in range(retries + 1):
         if not pending:
             break
-        if attempt and reg.enabled:
-            reg.counter("store.retries").inc(len(pending))
+        rounds = attempt + 1
+        if attempt:
+            if reg.enabled:
+                reg.counter("store.retries").inc(len(pending))
+            if backoff > 0:
+                # Deterministic exponential schedule — no jitter, so a
+                # re-run of the same failing sweep waits identically.
+                time.sleep(backoff * 2 ** (attempt - 1))
         h_exec = begin("store.execute", "store") if begin is not None else None
         n_round = len(pending)
         if batch_execute is not None and block_of is not None and attempt == 0:
@@ -338,12 +354,15 @@ def run_tasks(
         shown = ", ".join(str(f.index) for f in failures[:10])
         more = "" if len(failures) <= 10 else f" (+{len(failures) - 10} more)"
         raise SchedulerError(
-            f"{len(failures)}/{n} task(s) failed after {retries} retr"
-            f"{'y' if retries == 1 else 'ies'} at indices [{shown}]{more}; "
+            f"{len(failures)}/{n} task(s) failed after {rounds} attempt"
+            f"{'' if rounds == 1 else 's'} ({retries} retr"
+            f"{'y' if retries == 1 else 'ies'}, backoff={backoff:g}s) "
+            f"at indices [{shown}]{more}; "
             f"first: {type(failures[0].error).__name__}: {failures[0].error}. "
             "Completed tasks are persisted; re-run with resume=True to "
             "retry only the failures.",
             tuple((f.index, keys[f.index], f.error) for f in failures),
+            attempts=rounds,
         ) from failures[0].error
 
     return [r for r in results if r is not None]

@@ -176,3 +176,51 @@ class TestProgress:
         )
         assert seen[0] == (2, 4)  # hits reported first
         assert seen[-1] == (4, 4)
+
+
+class TestBackoff:
+    def test_retry_sleeps_follow_exponential_schedule(
+        self, store, results, monkeypatch
+    ):
+        from repro.store import scheduler
+
+        sleeps = []
+        monkeypatch.setattr(scheduler.time, "sleep", sleeps.append)
+        ex = CountingExecute(results, fail_indices=(2,), fail_times=2)
+        run_tasks(ex, TASKS, KEYS, store=store, retries=2, backoff=0.1)
+        assert sleeps == [pytest.approx(0.1), pytest.approx(0.2)]
+
+    def test_no_sleep_on_first_attempt_or_success(
+        self, store, results, monkeypatch
+    ):
+        from repro.store import scheduler
+
+        sleeps = []
+        monkeypatch.setattr(scheduler.time, "sleep", sleeps.append)
+        run_tasks(CountingExecute(results), TASKS, KEYS, store=store, retries=3)
+        assert sleeps == []
+
+    def test_scheduler_error_carries_attempt_count(
+        self, store, results, monkeypatch
+    ):
+        from repro.store import scheduler
+
+        monkeypatch.setattr(scheduler.time, "sleep", lambda _s: None)
+        ex = CountingExecute(results, fail_indices=(2,), fail_times=-1)
+        with pytest.raises(SchedulerError) as err:
+            run_tasks(ex, TASKS, KEYS, store=store, retries=2, backoff=0.1)
+        assert err.value.attempts == 3
+        assert "3 attempts" in str(err.value)
+        assert "backoff" in str(err.value)
+        assert ex.calls.count(2) == 3
+
+    def test_zero_retries_attempts_once(self, store, results, monkeypatch):
+        from repro.store import scheduler
+
+        sleeps = []
+        monkeypatch.setattr(scheduler.time, "sleep", sleeps.append)
+        ex = CountingExecute(results, fail_indices=(2,), fail_times=-1)
+        with pytest.raises(SchedulerError) as err:
+            run_tasks(ex, TASKS, KEYS, store=store, retries=0)
+        assert err.value.attempts == 1
+        assert sleeps == []
